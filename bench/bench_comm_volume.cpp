@@ -1,0 +1,101 @@
+// Lemma 1 / Theorem 3 validation: measured communication volume (exact
+// byte counts from the runtime ledger) versus the closed-form prediction,
+// across every partition of 8 and 16 processors over a 4-D cube.
+//
+// The table's "match" column must read "yes" on every row — the
+// measured-equals-predicted property is also enforced by an abort here
+// and by the unit tests.
+#include "bench_util.h"
+
+namespace cubist::bench {
+namespace {
+
+constexpr std::uint64_t kSeed = 7;
+const std::vector<std::int64_t> kSizes{32, 32, 32, 32};
+
+FigureTable& volume_table() {
+  static FigureTable table(
+      "Communication volume: measured (ledger) vs Theorem 3 closed form, "
+      "32^4 dataset",
+      {"grid", "p", "predicted_MB", "measured_MB", "match", "sim_time_s"});
+  return table;
+}
+
+void BM_CommVolume(benchmark::State& state) {
+  const int log_p = static_cast<int>(state.range(0));
+  const auto partitions =
+      enumerate_partitions(static_cast<int>(kSizes.size()), log_p);
+  const auto& splits = partitions[static_cast<std::size_t>(state.range(1))];
+  const BlockProvider provider =
+      DatasetCache::instance().provider(kSizes, 0.10, kSeed);
+
+  ParallelCubeReport report;
+  for (auto _ : state) {
+    report = run_parallel_cube(kSizes, splits, paper_model(), provider,
+                               /*collect_result=*/false);
+    state.SetIterationTime(report.construction_seconds);
+  }
+  const std::int64_t predicted =
+      total_volume_elements(kSizes, splits) *
+      static_cast<std::int64_t>(sizeof(Value));
+  const bool match = predicted == report.construction_bytes;
+  CUBIST_ASSERT(match, "measured volume diverged from Theorem 3 for grid "
+                           << ProcGrid(splits).to_string());
+  // Per-view check (Lemma 1), too.
+  for (const auto& [mask, elements] : volume_by_view_elements(kSizes, splits)) {
+    const std::int64_t expected =
+        elements * static_cast<std::int64_t>(sizeof(Value));
+    const auto it = report.bytes_by_view.find(mask);
+    const std::int64_t measured =
+        it == report.bytes_by_view.end() ? 0 : it->second;
+    CUBIST_ASSERT(measured == expected,
+                  "per-view volume diverged for view mask " << mask);
+  }
+  volume_table().add(
+      {ProcGrid(splits).to_string(), std::to_string(1 << log_p),
+       TextTable::fixed(static_cast<double>(predicted) / 1e6, 3),
+       TextTable::fixed(static_cast<double>(report.construction_bytes) / 1e6,
+                        3),
+       match ? "yes" : "NO",
+       TextTable::fixed(report.construction_seconds, 3)});
+  state.counters["MB"] = static_cast<double>(predicted) / 1e6;
+}
+
+void register_benchmarks() {
+  for (int log_p : {3, 4}) {
+    const auto partitions =
+        enumerate_partitions(static_cast<int>(kSizes.size()), log_p);
+    for (std::size_t i = 0; i < partitions.size(); ++i) {
+      // Skip grids splitting a dimension beyond its extent.
+      bool feasible = true;
+      for (std::size_t d = 0; d < partitions[i].size(); ++d) {
+        if ((std::int64_t{1} << partitions[i][d]) > kSizes[d]) {
+          feasible = false;
+        }
+      }
+      if (!feasible) continue;
+      ::benchmark::RegisterBenchmark("BM_CommVolume", BM_CommVolume)
+          ->Args({log_p, static_cast<std::int64_t>(i)})
+          ->UseManualTime()
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void print_tables() { volume_table().print(); }
+
+}  // namespace
+}  // namespace cubist::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  cubist::bench::register_benchmarks();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  cubist::bench::print_tables();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 7 reproduction: small 4-D dataset (64^4), 8 processors,
+// sparsity levels 25%/10%/5%, three partitioning options.
+//
+// Paper's result: the three-dimensional partition (2x2x2x1) wins at every
+// sparsity; the two-dimensional (4x2x1x1) is ~7-19% slower and the
+// one-dimensional (8x1x1x1) ~31-53% slower, the gap widening as the array
+// gets sparser (communication/computation ratio grows).
+#include "figure_common.h"
+
+namespace cubist::bench {
+namespace {
+
+const FigureSpec& figure7() {
+  static const FigureSpec spec{
+      "Figure 7: 64^4 dataset, 8 processors (time vs sparsity)",
+      {64, 64, 64, 64},
+      {{"three-dim (2x2x2x1)", {1, 1, 1, 0}},
+       {"two-dim   (4x2x1x1)", {2, 1, 0, 0}},
+       {"one-dim   (8x1x1x1)", {3, 0, 0, 0}}}};
+  return spec;
+}
+
+void BM_Figure7(benchmark::State& state) {
+  run_figure_case(state, figure7(),
+                  static_cast<std::size_t>(state.range(0)),
+                  static_cast<std::size_t>(state.range(1)));
+}
+
+// Register best-option-first so "slowdown_vs_best" is well defined; for
+// each option sweep all three sparsity levels, exactly as the figure.
+BENCHMARK(BM_Figure7)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2}})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void print_tables() { figure_table(figure7()).print(); }
+
+}  // namespace
+}  // namespace cubist::bench
+
+CUBIST_BENCH_MAIN(cubist::bench::print_tables)

@@ -1,0 +1,43 @@
+// Figure 8 reproduction: larger 4-D dataset, 8 processors, sparsity
+// 25%/10%/5%, same three partitioning options as Figure 7.
+//
+// Paper's result: same ordering as Figure 7 (3-D < 2-D < 1-D), smaller
+// relative gaps (8%/5-26%/30-51%) and higher speedups (6.39/5.3/4.52 for
+// the best version) because the larger dataset lowers the
+// communication-to-computation ratio.
+//
+// The paper's exact extents are unreadable in the OCR; we use 96^4 (~5x
+// the Figure-7 cell count) — see EXPERIMENTS.md.
+#include "figure_common.h"
+
+namespace cubist::bench {
+namespace {
+
+const FigureSpec& figure8() {
+  static const FigureSpec spec{
+      "Figure 8: 96^4 dataset, 8 processors (time vs sparsity)",
+      {96, 96, 96, 96},
+      {{"three-dim (2x2x2x1)", {1, 1, 1, 0}},
+       {"two-dim   (4x2x1x1)", {2, 1, 0, 0}},
+       {"one-dim   (8x1x1x1)", {3, 0, 0, 0}}}};
+  return spec;
+}
+
+void BM_Figure8(benchmark::State& state) {
+  run_figure_case(state, figure8(),
+                  static_cast<std::size_t>(state.range(0)),
+                  static_cast<std::size_t>(state.range(1)));
+}
+
+BENCHMARK(BM_Figure8)
+    ->ArgsProduct({{0, 1, 2}, {0, 1, 2}})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void print_tables() { figure_table(figure8()).print(); }
+
+}  // namespace
+}  // namespace cubist::bench
+
+CUBIST_BENCH_MAIN(cubist::bench::print_tables)

@@ -1,0 +1,43 @@
+// Figure 9 reproduction: larger 4-D dataset on 16 processors, sparsity
+// 25%/10%/5%, five partitioning options.
+//
+// Paper's result: the five versions rank exactly as the theory predicts —
+// four-dimensional (2,2,2,2) best, then three-dimensional (4,2,2,1), then
+// two-dimensional (4,4,1,1), then the other two-dimensional (8,2,1,1),
+// then one-dimensional (16,1,1,1) — with more than 4x between best and
+// worst at 5% sparsity, and best-version speedups 12.79/10.0/7.95.
+#include "figure_common.h"
+
+namespace cubist::bench {
+namespace {
+
+const FigureSpec& figure9() {
+  static const FigureSpec spec{
+      "Figure 9: 96^4 dataset, 16 processors (time vs sparsity)",
+      {96, 96, 96, 96},
+      {{"four-dim  (2x2x2x2)", {1, 1, 1, 1}},
+       {"three-dim (4x2x2x1)", {2, 1, 1, 0}},
+       {"two-dim   (4x4x1x1)", {2, 2, 0, 0}},
+       {"two-dim   (8x2x1x1)", {3, 1, 0, 0}},
+       {"one-dim  (16x1x1x1)", {4, 0, 0, 0}}}};
+  return spec;
+}
+
+void BM_Figure9(benchmark::State& state) {
+  run_figure_case(state, figure9(),
+                  static_cast<std::size_t>(state.range(0)),
+                  static_cast<std::size_t>(state.range(1)));
+}
+
+BENCHMARK(BM_Figure9)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1, 2}})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void print_tables() { figure_table(figure9()).print(); }
+
+}  // namespace
+}  // namespace cubist::bench
+
+CUBIST_BENCH_MAIN(cubist::bench::print_tables)

@@ -1,0 +1,123 @@
+// Microbenchmarks of the aggregation kernels — real wall time, real
+// throughput (google-benchmark's bread and butter, no virtual clock).
+//
+// Covers: dense multi-way aggregation vs number of simultaneous targets,
+// sparse chunk-offset aggregation vs chunk extent and density, the
+// generic projection kernel, and the hash-sparse generator.
+#include "bench_util.h"
+
+namespace cubist::bench {
+namespace {
+
+void BM_DenseMultiway(benchmark::State& state) {
+  const auto num_targets = static_cast<std::size_t>(state.range(0));
+  const std::vector<std::int64_t> sizes{48, 48, 48};
+  const SparseSpec spec{sizes, 1.0, 3, {}, 0.0};
+  static const DenseArray parent =
+      generate_sparse_global(spec).to_dense();
+  std::vector<DenseArray> children;
+  std::vector<AggregationTarget> targets;
+  for (std::size_t pos = 0; pos < num_targets; ++pos) {
+    children.emplace_back(parent.shape().without_dim(static_cast<int>(pos)));
+  }
+  for (std::size_t pos = 0; pos < num_targets; ++pos) {
+    targets.push_back({static_cast<int>(pos), &children[pos]});
+  }
+  for (auto _ : state) {
+    const AggregationStats stats = aggregate_children(parent, targets);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * parent.size() *
+                          static_cast<std::int64_t>(num_targets));
+}
+BENCHMARK(BM_DenseMultiway)->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
+
+void BM_SparseMultiwayChunks(benchmark::State& state) {
+  const std::int64_t chunk = state.range(0);
+  const std::vector<std::int64_t> sizes{64, 64, 64};
+  SparseSpec spec;
+  spec.sizes = sizes;
+  spec.density = 0.10;
+  spec.seed = 5;
+  spec.chunk_extents = {chunk, chunk, chunk};
+  const SparseArray parent = generate_sparse_global(spec);
+  std::vector<DenseArray> children;
+  for (int pos = 0; pos < 3; ++pos) {
+    children.emplace_back(parent.shape().without_dim(pos));
+  }
+  std::vector<AggregationTarget> targets;
+  for (int pos = 0; pos < 3; ++pos) {
+    targets.push_back({pos, &children[static_cast<std::size_t>(pos)]});
+  }
+  for (auto _ : state) {
+    const AggregationStats stats = aggregate_children(parent, targets);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * parent.nnz() * 3);
+  state.counters["nnz"] = static_cast<double>(parent.nnz());
+}
+BENCHMARK(BM_SparseMultiwayChunks)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SparseMultiwayDensity(benchmark::State& state) {
+  const double density = static_cast<double>(state.range(0)) / 100.0;
+  SparseSpec spec;
+  spec.sizes = {64, 64, 64};
+  spec.density = density;
+  spec.seed = 7;
+  const SparseArray parent = generate_sparse_global(spec);
+  std::vector<DenseArray> children;
+  for (int pos = 0; pos < 3; ++pos) {
+    children.emplace_back(parent.shape().without_dim(pos));
+  }
+  std::vector<AggregationTarget> targets;
+  for (int pos = 0; pos < 3; ++pos) {
+    targets.push_back({pos, &children[static_cast<std::size_t>(pos)]});
+  }
+  for (auto _ : state) {
+    const AggregationStats stats = aggregate_children(parent, targets);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * parent.nnz() * 3);
+}
+BENCHMARK(BM_SparseMultiwayDensity)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(25)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Projection(benchmark::State& state) {
+  const std::vector<std::int64_t> sizes{48, 48, 48};
+  const SparseSpec spec{sizes, 1.0, 9, {}, 0.0};
+  static const DenseArray parent = generate_sparse_global(spec).to_dense();
+  DenseArray out{Shape{{48}}};
+  for (auto _ : state) {
+    out.fill(0);
+    const AggregationStats stats = project(parent, {1}, &out);
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() * parent.size());
+}
+BENCHMARK(BM_Projection)->Unit(benchmark::kMillisecond);
+
+void BM_Generator(benchmark::State& state) {
+  SparseSpec spec;
+  spec.sizes = {64, 64, 64};
+  spec.density = static_cast<double>(state.range(0)) / 100.0;
+  spec.seed = 11;
+  for (auto _ : state) {
+    const SparseArray data = generate_sparse_global(spec);
+    benchmark::DoNotOptimize(data.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64 * 64);
+}
+BENCHMARK(BM_Generator)->Arg(5)->Arg(25)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cubist::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Figure 6 / Theorem 8 reproduction: the greedy partitioner versus the
+// exhaustive optimum and the worst grid.
+//
+// Two parts:
+//  * model-level: on random dimension-size vectors, greedy volume ==
+//    exhaustive-optimal volume (Theorem 8), and the spread to the worst
+//    composition shows how much the choice matters;
+//  * measured: for the Figure-7 dataset, an actual run of every distinct
+//    grid shape on 8 processors, showing measured bytes and simulated
+//    time per grid — the full version of the paper's three-way comparison.
+#include "bench_util.h"
+
+namespace cubist::bench {
+namespace {
+
+FigureTable& model_table() {
+  static FigureTable table(
+      "Partitioning (model): greedy vs exhaustive vs worst, random sizes",
+      {"sizes", "p", "greedy_grid", "greedy_Melem", "optimal_Melem",
+       "worst_Melem", "worst/greedy"});
+  return table;
+}
+
+FigureTable& measured_table() {
+  static FigureTable table(
+      "Partitioning (measured): all grids of p=8 over 64^4, 10% sparsity",
+      {"grid", "comm_MB", "sim_time_s", "rank"});
+  return table;
+}
+
+void BM_GreedyVsExhaustive(benchmark::State& state) {
+  Xoshiro256ss rng(static_cast<std::uint64_t>(state.range(0)) + 1);
+  std::vector<std::int64_t> sizes(4);
+  for (auto& s : sizes) {
+    s = static_cast<std::int64_t>(8 + rng.next_below(120));
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  const int log_p = static_cast<int>(state.range(1));
+  std::vector<int> greedy;
+  for (auto _ : state) {
+    greedy = greedy_partition(sizes, log_p);
+    benchmark::DoNotOptimize(greedy);
+  }
+  const auto optimal = exhaustive_partition(sizes, log_p);
+  const auto worst = worst_partition(sizes, log_p);
+  const auto volume = [&](const std::vector<int>& splits) {
+    return static_cast<double>(total_volume_elements(sizes, splits)) / 1e6;
+  };
+  CUBIST_ASSERT(total_volume_elements(sizes, greedy) ==
+                    total_volume_elements(sizes, optimal),
+                "Theorem 8 violated");
+  model_table().add({Shape{sizes}.to_string(), std::to_string(1 << log_p),
+                     ProcGrid(greedy).to_string(),
+                     TextTable::fixed(volume(greedy), 3),
+                     TextTable::fixed(volume(optimal), 3),
+                     TextTable::fixed(volume(worst), 3),
+                     TextTable::fixed(volume(worst) / volume(greedy), 1)});
+}
+
+BENCHMARK(BM_GreedyVsExhaustive)
+    ->ArgsProduct({{1, 2, 3}, {3, 4, 6}})
+    ->Iterations(1);
+
+void BM_MeasuredGridSweep(benchmark::State& state) {
+  const std::vector<std::int64_t> sizes{64, 64, 64, 64};
+  const auto partitions = enumerate_partitions(4, 3);
+  const auto& splits = partitions[static_cast<std::size_t>(state.range(0))];
+  const BlockProvider provider =
+      DatasetCache::instance().provider(sizes, 0.10, 11);
+  ParallelCubeReport report;
+  for (auto _ : state) {
+    report =
+        run_parallel_cube(sizes, splits, paper_model(), provider, false);
+    state.SetIterationTime(report.construction_seconds);
+  }
+  measured_table().add(
+      {ProcGrid(splits).to_string(),
+       TextTable::fixed(static_cast<double>(report.construction_bytes) / 1e6,
+                        1),
+       TextTable::fixed(report.construction_seconds, 2),
+       std::to_string(4 - static_cast<int>(std::count(splits.begin(),
+                                                      splits.end(), 0))) +
+           "-dim"});
+  state.counters["comm_MB"] =
+      static_cast<double>(report.construction_bytes) / 1e6;
+}
+
+void register_measured() {
+  const auto partitions = enumerate_partitions(4, 3);
+  for (std::size_t i = 0; i < partitions.size(); ++i) {
+    ::benchmark::RegisterBenchmark("BM_MeasuredGridSweep",
+                                   BM_MeasuredGridSweep)
+        ->Args({static_cast<std::int64_t>(i)})
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+void print_tables() {
+  model_table().print();
+  measured_table().print();
+}
+
+}  // namespace
+}  // namespace cubist::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  cubist::bench::register_measured();
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  cubist::bench::print_tables();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// In-text numbers reproduction: sequential times and speedups.
+//
+// The paper quotes sequential times per sparsity level (22.5/12.4/8.6 s
+// for the small dataset) and speedups of the best partition (5.31/4.22/
+// 3.39 on 8 processors; 12.79/10.0/7.95 on 16 for the larger dataset).
+// This bench sweeps p = 1..16 with the greedy-optimal grid at each p and
+// prints the whole scaling curve per sparsity level.
+#include "bench_util.h"
+
+namespace cubist::bench {
+namespace {
+
+constexpr std::uint64_t kSeed = 2003;
+const std::vector<std::int64_t> kSizes{64, 64, 64, 64};
+
+FigureTable& scaling_table() {
+  static FigureTable table(
+      "Scaling: 64^4 dataset, greedy-optimal grid per p",
+      {"p", "grid", "sparsity", "seq_s", "sim_time_s", "speedup", "comm_MB"});
+  return table;
+}
+
+void BM_Scaling(benchmark::State& state) {
+  const int log_p = static_cast<int>(state.range(0));
+  const double density = kDensities[state.range(1)];
+  const auto splits = greedy_partition(kSizes, log_p);
+  const BlockProvider provider =
+      DatasetCache::instance().provider(kSizes, density, kSeed);
+  const CostModel model = paper_model();
+
+  static std::map<double, double> seq_memo;
+  if (!seq_memo.count(density)) {
+    seq_memo[density] = sequential_sim_seconds(
+        DatasetCache::instance().global(kSizes, density, kSeed), model);
+  }
+
+  ParallelCubeReport report;
+  for (auto _ : state) {
+    report = run_parallel_cube(kSizes, splits, model, provider, false);
+    state.SetIterationTime(report.construction_seconds);
+  }
+  const double sequential = seq_memo[density];
+  scaling_table().add(
+      {std::to_string(1 << log_p), ProcGrid(splits).to_string(),
+       kDensityNames[state.range(1)],
+       TextTable::fixed(sequential, 1),
+       TextTable::fixed(report.construction_seconds, 2),
+       TextTable::fixed(sequential / report.construction_seconds, 2),
+       TextTable::fixed(static_cast<double>(report.construction_bytes) / 1e6,
+                        1)});
+  state.counters["speedup"] = sequential / report.construction_seconds;
+}
+
+BENCHMARK(BM_Scaling)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {0, 1, 2}})
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void print_tables() { scaling_table().print(); }
+
+}  // namespace
+}  // namespace cubist::bench
+
+CUBIST_BENCH_MAIN(cubist::bench::print_tables)

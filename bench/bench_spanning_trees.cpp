@@ -1,0 +1,84 @@
+// Ablation: the aggregation tree versus prior-work spanning trees
+// (paper §7 related work), on real sequential construction runs.
+//
+// Columns show the trade-off the paper argues: the aggregation tree with
+// the multi-way discipline gets minimal scans AND a bounded live set,
+// while per-child disciplines rescan parents and the naive all-from-root
+// tree rescans the (large) input for every one of the 2^n - 1 views.
+#include "bench_util.h"
+
+namespace cubist::bench {
+namespace {
+
+const std::vector<std::int64_t> kSizes{64, 48, 32, 16};
+constexpr double kDensity = 0.10;
+constexpr std::uint64_t kSeed = 23;
+
+FigureTable& tree_table() {
+  static FigureTable table(
+      "Spanning trees: sequential construction of a 64x48x32x16 cube, "
+      "10% sparsity",
+      {"tree", "discipline", "cells_scanned_M", "peak_live_MB",
+       "written_MB", "wall_s"});
+  return table;
+}
+
+struct TreeCase {
+  const char* name;
+  const char* discipline_name;
+  SpanningTree tree;
+  ScanDiscipline discipline;
+};
+
+std::vector<TreeCase> tree_cases() {
+  const CubeLattice lattice(kSizes);
+  std::vector<TreeCase> cases;
+  cases.push_back({"aggregation", "multi-way", SpanningTree::aggregation(4),
+                   ScanDiscipline::kMultiWay});
+  cases.push_back({"aggregation", "per-child", SpanningTree::aggregation(4),
+                   ScanDiscipline::kPerChild});
+  cases.push_back({"minimal-parent (MNST)", "per-child",
+                   SpanningTree::minimal_parent(lattice),
+                   ScanDiscipline::kPerChild});
+  cases.push_back({"MMST (Zhao)", "per-child",
+                   SpanningTree::mmst(lattice, default_chunks(kSizes)),
+                   ScanDiscipline::kPerChild});
+  cases.push_back({"all-from-root (naive)", "per-child",
+                   SpanningTree::all_from_root(4),
+                   ScanDiscipline::kPerChild});
+  return cases;
+}
+
+void BM_SpanningTree(benchmark::State& state) {
+  const auto cases = tree_cases();
+  const TreeCase& tree_case = cases[static_cast<std::size_t>(state.range(0))];
+  const SparseArray& input =
+      DatasetCache::instance().global(kSizes, kDensity, kSeed);
+  BuildStats stats{};
+  Timer timer;
+  for (auto _ : state) {
+    build_cube_with_tree(input, tree_case.tree, tree_case.discipline, &stats);
+  }
+  tree_table().add(
+      {tree_case.name, tree_case.discipline_name,
+       TextTable::fixed(static_cast<double>(stats.cells_scanned) / 1e6, 2),
+       TextTable::fixed(static_cast<double>(stats.peak_live_bytes) / 1e6, 2),
+       TextTable::fixed(static_cast<double>(stats.written_bytes) / 1e6, 2),
+       TextTable::fixed(timer.elapsed_seconds(), 2)});
+  state.counters["scan_M"] =
+      static_cast<double>(stats.cells_scanned) / 1e6;
+  state.counters["peak_MB"] =
+      static_cast<double>(stats.peak_live_bytes) / 1e6;
+}
+
+BENCHMARK(BM_SpanningTree)
+    ->DenseRange(0, 4)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+void print_tables() { tree_table().print(); }
+
+}  // namespace
+}  // namespace cubist::bench
+
+CUBIST_BENCH_MAIN(cubist::bench::print_tables)

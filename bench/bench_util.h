@@ -1,0 +1,140 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every figure bench registers google-benchmark cases whose *manual time*
+// is the simulated construction time (virtual-clock makespan), and
+// additionally accumulates rows that main() prints as a paper-style table
+// at the end — those tables are what EXPERIMENTS.md records.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cubist/cubist.h"
+
+namespace cubist::bench {
+
+/// The paper's sparsity levels (fraction of non-zero cells).
+inline constexpr double kDensities[] = {0.25, 0.10, 0.05};
+inline constexpr const char* kDensityNames[] = {"25%", "10%", "5%"};
+
+/// Cost model calibrated against the paper's reported numbers: the
+/// Figure-7 dataset (64^4, 25% sparsity) takes ~22.5 s sequentially on a
+/// 250 MHz Ultra-II class node (=> ~1.1M aggregation ops/s end to end,
+/// including sparse decode and disk), and the communication fabric
+/// delivers ~20 MB/s effective through the 2002-era middleware stack.
+inline CostModel paper_model() {
+  CostModel model;
+  model.update_rate = 1.1e6;
+  model.scan_rate = 1.1e6;
+  model.latency = 1e-4;
+  model.overhead = 5e-6;
+  model.bandwidth = 20e6;
+  return model;
+}
+
+/// A named partitioning option, as in the paper's figures
+/// ("three dimensional", "two dimensional", ...).
+struct PartitionOption {
+  std::string name;
+  std::vector<int> log_splits;
+};
+
+/// Cached global dataset per (sizes, density): generated once, then
+/// sliced per rank with extract_block — far cheaper than re-hashing every
+/// cell for every partition option.
+class DatasetCache {
+ public:
+  const SparseArray& global(const std::vector<std::int64_t>& sizes,
+                            double density, std::uint64_t seed) {
+    const std::string key = cache_key(sizes, density, seed);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+      SparseSpec spec;
+      spec.sizes = sizes;
+      spec.density = density;
+      spec.seed = seed;
+      it = cache_.emplace(key, generate_sparse_global(spec)).first;
+    }
+    return it->second;
+  }
+
+  BlockProvider provider(const std::vector<std::int64_t>& sizes,
+                         double density, std::uint64_t seed) {
+    const SparseArray& data = global(sizes, density, seed);
+    return [&data](int, const BlockRange& block) {
+      return extract_block(data, block, default_chunks(block.extents()));
+    };
+  }
+
+  void clear() { cache_.clear(); }
+
+  static DatasetCache& instance() {
+    static DatasetCache cache;
+    return cache;
+  }
+
+ private:
+  static std::string cache_key(const std::vector<std::int64_t>& sizes,
+                               double density, std::uint64_t seed) {
+    std::string key;
+    for (std::int64_t s : sizes) {
+      key += std::to_string(s) + "x";
+    }
+    key += "@" + std::to_string(density) + "#" + std::to_string(seed);
+    return key;
+  }
+
+  std::map<std::string, SparseArray> cache_;
+};
+
+/// Simulated sequential construction time for speedup denominators.
+inline double sequential_sim_seconds(const SparseArray& input,
+                                     const CostModel& model,
+                                     BuildStats* stats_out = nullptr) {
+  BuildStats stats;
+  build_cube_sequential(input, &stats);
+  if (stats_out != nullptr) {
+    *stats_out = stats;
+  }
+  return model.seconds_for_scan(static_cast<double>(stats.cells_scanned)) +
+         model.seconds_for_updates(static_cast<double>(stats.updates));
+}
+
+/// Rows accumulated by the benchmark bodies and printed by main().
+class FigureTable {
+ public:
+  explicit FigureTable(std::string title, std::vector<std::string> header)
+      : title_(std::move(title)) {
+    table_.header(std::move(header));
+  }
+
+  void add(std::vector<std::string> row) { table_.row(std::move(row)); }
+
+  void print() const {
+    std::printf("\n=== %s ===\n%s", title_.c_str(),
+                table_.render().c_str());
+  }
+
+ private:
+  std::string title_;
+  TextTable table_;
+};
+
+/// Standard custom main: run benchmarks, then print the figure table.
+#define CUBIST_BENCH_MAIN(print_tables)                         \
+  int main(int argc, char** argv) {                             \
+    ::benchmark::Initialize(&argc, argv);                       \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                                 \
+    }                                                           \
+    ::benchmark::RunSpecifiedBenchmarks();                      \
+    ::benchmark::Shutdown();                                    \
+    print_tables();                                             \
+    return 0;                                                   \
+  }
+
+}  // namespace cubist::bench

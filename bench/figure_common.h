@@ -1,0 +1,86 @@
+// Shared driver for the Figure 7/8/9 reproductions: a (dataset, processor
+// count) pair swept over the paper's sparsity levels and partitioning
+// options. Each case reports the simulated parallel construction time as
+// google-benchmark manual time and adds one table row.
+#pragma once
+
+#include "bench_util.h"
+
+namespace cubist::bench {
+
+inline constexpr std::uint64_t kFigureSeed = 2003;
+
+struct FigureSpec {
+  std::string title;
+  std::vector<std::int64_t> sizes;
+  std::vector<PartitionOption> options;
+};
+
+inline FigureTable& figure_table(const FigureSpec& spec) {
+  static FigureTable table(spec.title,
+                           {"partition", "sparsity", "sim_time_s", "seq_s",
+                            "speedup", "comm_MB", "slowdown_vs_best",
+                            "wall_s"});
+  return table;
+}
+
+/// Simulated sequential time, memoized per density.
+inline double figure_sequential_seconds(const FigureSpec& spec,
+                                        double density) {
+  static std::map<double, double> memo;
+  const auto it = memo.find(density);
+  if (it != memo.end()) return it->second;
+  const double seconds = sequential_sim_seconds(
+      DatasetCache::instance().global(spec.sizes, density, kFigureSeed),
+      paper_model());
+  memo[density] = seconds;
+  return seconds;
+}
+
+/// Best (greedy-optimal) option time per density, memoized, for the
+/// "slower by X%" numbers the paper quotes.
+inline std::map<double, double>& figure_best_seconds() {
+  static std::map<double, double> best;
+  return best;
+}
+
+inline void run_figure_case(benchmark::State& state, const FigureSpec& spec,
+                            std::size_t option_index,
+                            std::size_t density_index) {
+  const PartitionOption& option = spec.options[option_index];
+  const double density = kDensities[density_index];
+  const BlockProvider provider = DatasetCache::instance().provider(
+      spec.sizes, density, kFigureSeed);
+  const CostModel model = paper_model();
+
+  ParallelCubeReport report;
+  for (auto _ : state) {
+    report = run_parallel_cube(spec.sizes, option.log_splits, model,
+                               provider, /*collect_result=*/false);
+    state.SetIterationTime(report.construction_seconds);
+  }
+  const double sequential = figure_sequential_seconds(spec, density);
+  const double sim = report.construction_seconds;
+
+  auto& best = figure_best_seconds();
+  // Options are registered best-first (the paper's ordering), so the
+  // first option to report a density defines the baseline.
+  if (!best.count(density)) best[density] = sim;
+  const double slowdown = (sim / best[density] - 1.0) * 100.0;
+
+  figure_table(spec).add(
+      {option.name, kDensityNames[density_index], TextTable::fixed(sim, 2),
+       TextTable::fixed(sequential, 1),
+       TextTable::fixed(sequential / sim, 2),
+       TextTable::fixed(static_cast<double>(report.construction_bytes) / 1e6,
+                        1),
+       TextTable::fixed(slowdown, 0) + "%",
+       TextTable::fixed(report.run.wall_seconds, 2)});
+
+  state.counters["sim_s"] = sim;
+  state.counters["speedup"] = sequential / sim;
+  state.counters["comm_MB"] =
+      static_cast<double>(report.construction_bytes) / 1e6;
+}
+
+}  // namespace cubist::bench

@@ -1,0 +1,99 @@
+// parallel_speedup — run the Figure-5 parallel algorithm end to end.
+//
+// Builds the cube of a hash-sparse dataset on 1..2^k thread-ranks using
+// the greedy-optimal grid at each processor count, verifies every run
+// against the sequential cube, and prints measured communication volume
+// (with its Theorem-3 prediction), simulated parallel time, and speedup.
+//
+//   $ ./examples/parallel_speedup --sizes=64x64x64x64 --density=0.1
+//                                 --max-log-p=4
+#include <cstdio>
+#include <sstream>
+
+#include "common/args.h"
+#include "cubist/cubist.h"
+
+using namespace cubist;
+
+namespace {
+
+std::vector<std::int64_t> parse_sizes(const std::string& text) {
+  std::vector<std::int64_t> sizes;
+  std::stringstream in(text);
+  std::string token;
+  while (std::getline(in, token, 'x')) {
+    sizes.push_back(std::stoll(token));
+  }
+  CUBIST_CHECK(!sizes.empty(), "could not parse --sizes");
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("parallel_speedup",
+                 "parallel cube construction across processor counts");
+  const auto* sizes_text = args.add_string("sizes", "48x48x48x48",
+                                           "extents, e.g. 64x64x64x64");
+  const auto* density = args.add_double("density", 0.10, "non-zero fraction");
+  const auto* max_log_p = args.add_int("max-log-p", 4, "largest log2(p)");
+  const auto* seed = args.add_int("seed", 1, "dataset seed");
+  const auto* verify = args.add_bool("verify", true,
+                                     "check each run against sequential");
+  if (!args.parse(argc, argv)) return 1;
+
+  const std::vector<std::int64_t> sizes = parse_sizes(*sizes_text);
+  SparseSpec spec;
+  spec.sizes = sizes;
+  spec.density = *density;
+  spec.seed = static_cast<std::uint64_t>(*seed);
+  const BlockProvider provider = [&spec](int, const BlockRange& block) {
+    return generate_sparse_block(spec, block);
+  };
+
+  // Calibrated 2003-cluster cost model (see DESIGN.md §2).
+  CostModel model;
+  model.update_rate = 1.1e6;
+  model.scan_rate = 1.1e6;
+  model.latency = 1e-4;
+  model.overhead = 5e-6;
+  model.bandwidth = 20e6;
+
+  std::printf("dataset %s, density %.0f%%\n", Shape{sizes}.to_string().c_str(),
+              *density * 100);
+  std::printf("building sequential baseline...\n");
+  const SparseArray global = generate_sparse_global(spec);
+  BuildStats seq_stats;
+  const CubeResult reference = build_cube_sequential(global, &seq_stats);
+  const double seq_seconds =
+      model.seconds_for_scan(static_cast<double>(seq_stats.cells_scanned)) +
+      model.seconds_for_updates(static_cast<double>(seq_stats.updates));
+  std::printf("sequential: %lld non-zeros, simulated %.2f s\n\n",
+              static_cast<long long>(global.nnz()), seq_seconds);
+
+  TextTable table;
+  table.header({"p", "grid", "sim_time_s", "speedup", "comm_MB",
+                "predicted_MB", "verified"});
+  for (int log_p = 0; log_p <= *max_log_p; ++log_p) {
+    const std::vector<int> splits =
+        greedy_partition(sizes, log_p);
+    const ParallelCubeReport report =
+        run_parallel_cube(sizes, splits, model, provider, *verify);
+    std::string verified = "-";
+    if (*verify) {
+      verified = compare_cubes(reference, *report.cube).empty() ? "yes" : "NO";
+    }
+    const double predicted_mb =
+        static_cast<double>(total_volume_elements(sizes, splits) *
+                            static_cast<std::int64_t>(sizeof(Value))) /
+        1e6;
+    table.row({std::to_string(1 << log_p), ProcGrid(splits).to_string(),
+               TextTable::fixed(report.construction_seconds, 2),
+               TextTable::fixed(seq_seconds / report.construction_seconds, 2),
+               TextTable::fixed(
+                   static_cast<double>(report.construction_bytes) / 1e6, 2),
+               TextTable::fixed(predicted_mb, 2), verified});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,261 @@
+#include "array/aggregate.h"
+
+#include <vector>
+
+namespace cubist {
+namespace {
+
+// Child-array stride of each parent dimension, 0 for the aggregated one.
+// The projected (child) linear index of a parent multi-index `idx` is then
+// sum_d idx[d] * stride[d].
+std::vector<std::int64_t> projection_strides(const Shape& parent_shape,
+                                             const AggregationTarget& target) {
+  const int m = parent_shape.ndim();
+  CUBIST_CHECK(target.aggregated_pos >= 0 && target.aggregated_pos < m,
+               "aggregated_pos out of range");
+  CUBIST_CHECK(target.child != nullptr, "null child array");
+  CUBIST_CHECK(target.child->shape() ==
+                   parent_shape.without_dim(target.aggregated_pos),
+               "child shape mismatch for aggregated_pos "
+                   << target.aggregated_pos);
+  std::vector<std::int64_t> strides(static_cast<std::size_t>(m), 0);
+  int child_dim = 0;
+  for (int d = 0; d < m; ++d) {
+    if (d == target.aggregated_pos) continue;
+    strides[d] = target.child->shape().stride(child_dim);
+    ++child_dim;
+  }
+  return strides;
+}
+
+}  // namespace
+
+AggregationStats aggregate_children(
+    const DenseArray& parent, std::span<const AggregationTarget> targets) {
+  const int m = parent.ndim();
+  const std::size_t num_targets = targets.size();
+  if (num_targets == 0) return {};
+  CUBIST_CHECK(m >= 1, "cannot aggregate a scalar parent");
+
+  // Per-target projection strides and running child indices.
+  std::vector<std::vector<std::int64_t>> strides;
+  strides.reserve(num_targets);
+  for (const auto& target : targets) {
+    strides.push_back(projection_strides(parent.shape(), target));
+  }
+  std::vector<Value*> child_data(num_targets);
+  std::vector<std::int64_t> last_delta(num_targets);
+  std::vector<std::int64_t> row_start(num_targets, 0);
+  for (std::size_t c = 0; c < num_targets; ++c) {
+    child_data[c] = targets[c].child->data();
+    last_delta[c] = strides[c][static_cast<std::size_t>(m - 1)];
+  }
+
+  const std::int64_t inner_extent = parent.shape().extent(m - 1);
+  const std::int64_t num_rows = parent.size() / inner_extent;
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(m), 0);
+  const Value* cell = parent.data();
+
+  for (std::int64_t r = 0; r < num_rows; ++r) {
+    // Inner loop over the fastest-varying dimension; each target's child
+    // index advances by its own stride (0 if this is the aggregated dim).
+    for (std::size_t c = 0; c < num_targets; ++c) {
+      std::int64_t ci = row_start[c];
+      const std::int64_t delta = last_delta[c];
+      Value* out = child_data[c];
+      const Value* in = cell;
+      for (std::int64_t i = 0; i < inner_extent; ++i) {
+        out[ci] += in[i];
+        ci += delta;
+      }
+    }
+    cell += inner_extent;
+    // Odometer over the outer dimensions, updating each row start.
+    for (int d = m - 2; d >= 0; --d) {
+      ++idx[d];
+      if (idx[d] < parent.shape().extent(d)) {
+        for (std::size_t c = 0; c < num_targets; ++c) {
+          row_start[c] += strides[c][d];
+        }
+        break;
+      }
+      idx[d] = 0;
+      for (std::size_t c = 0; c < num_targets; ++c) {
+        row_start[c] -= (parent.shape().extent(d) - 1) * strides[c][d];
+      }
+    }
+  }
+
+  AggregationStats stats;
+  stats.cells_scanned = parent.size();
+  stats.updates = parent.size() * static_cast<std::int64_t>(num_targets);
+  return stats;
+}
+
+AggregationStats aggregate_children(
+    const SparseArray& parent, std::span<const AggregationTarget> targets) {
+  const int m = parent.ndim();
+  const std::size_t num_targets = targets.size();
+  if (num_targets == 0) return {};
+  CUBIST_CHECK(m >= 1, "cannot aggregate a scalar parent");
+
+  std::vector<std::vector<std::int64_t>> strides;
+  strides.reserve(num_targets);
+  for (const auto& target : targets) {
+    strides.push_back(projection_strides(parent.shape(), target));
+  }
+  std::vector<Value*> child_data(num_targets);
+  for (std::size_t c = 0; c < num_targets; ++c) {
+    child_data[c] = targets[c].child->data();
+  }
+
+  // Fast path: every interior chunk shares the same shape, so the map
+  // (within-chunk offset) -> (child index contribution) is chunk-invariant.
+  // Build it once per target; interior non-zeros then cost one table lookup
+  // plus one add per target. Only worthwhile (and only affordable) for
+  // reasonably small chunks — past the threshold every chunk takes the
+  // decode path instead of allocating a giant table.
+  constexpr std::int64_t kMaxTableVolume = std::int64_t{1} << 22;
+  const Shape full_chunk_shape{parent.chunk_extents()};
+  const std::int64_t full_volume = full_chunk_shape.size();
+  const bool use_table = full_volume <= kMaxTableVolume;
+  std::vector<std::vector<std::int64_t>> offset_table(num_targets);
+  if (use_table) {
+    std::vector<std::int64_t> local(static_cast<std::size_t>(m), 0);
+    for (std::size_t c = 0; c < num_targets; ++c) {
+      offset_table[c].resize(static_cast<std::size_t>(full_volume));
+    }
+    for (std::int64_t off = 0; off < full_volume; ++off) {
+      full_chunk_shape.unravel(off, local.data());
+      for (std::size_t c = 0; c < num_targets; ++c) {
+        std::int64_t projected = 0;
+        for (int d = 0; d < m; ++d) {
+          projected += local[d] * strides[c][d];
+        }
+        offset_table[c][static_cast<std::size_t>(off)] = projected;
+      }
+    }
+  }
+
+  AggregationStats stats;
+  std::vector<std::int64_t> chunk_coords(static_cast<std::size_t>(m), 0);
+  std::vector<std::int64_t> local(static_cast<std::size_t>(m), 0);
+  std::vector<std::int64_t> base_ci(num_targets);
+
+  for (std::int64_t chunk_id = 0; chunk_id < parent.num_chunks(); ++chunk_id) {
+    const auto offsets = parent.chunk_offsets(chunk_id);
+    if (offsets.empty()) continue;
+    const auto values = parent.chunk_values(chunk_id);
+    parent.chunk_grid().unravel(chunk_id, chunk_coords.data());
+    const auto base = parent.chunk_base(chunk_coords);
+    for (std::size_t c = 0; c < num_targets; ++c) {
+      std::int64_t projected = 0;
+      for (int d = 0; d < m; ++d) {
+        projected += base[d] * strides[c][d];
+      }
+      base_ci[c] = projected;
+    }
+
+    if (use_table && parent.chunk_is_full(chunk_coords)) {
+      for (std::size_t i = 0; i < offsets.size(); ++i) {
+        const auto off = offsets[i];
+        const Value v = values[i];
+        for (std::size_t c = 0; c < num_targets; ++c) {
+          child_data[c][base_ci[c] + offset_table[c][off]] += v;
+        }
+      }
+    } else {
+      // Boundary chunk: clipped extents, decode offsets directly.
+      const Shape local_shape{parent.chunk_shape_at(chunk_coords)};
+      for (std::size_t i = 0; i < offsets.size(); ++i) {
+        local_shape.unravel(static_cast<std::int64_t>(offsets[i]),
+                            local.data());
+        const Value v = values[i];
+        for (std::size_t c = 0; c < num_targets; ++c) {
+          std::int64_t projected = base_ci[c];
+          for (int d = 0; d < m; ++d) {
+            projected += local[d] * strides[c][d];
+          }
+          child_data[c][projected] += v;
+        }
+      }
+    }
+    stats.cells_scanned += static_cast<std::int64_t>(offsets.size());
+  }
+  stats.updates = stats.cells_scanned * static_cast<std::int64_t>(num_targets);
+  return stats;
+}
+
+namespace {
+
+// Out-array stride of each parent dimension for a multi-dim projection
+// (0 for aggregated-away dimensions).
+std::vector<std::int64_t> multi_projection_strides(
+    const Shape& parent_shape, const std::vector<int>& kept_positions,
+    const DenseArray& out) {
+  const int m = parent_shape.ndim();
+  std::vector<std::int64_t> expected;
+  for (std::size_t i = 0; i < kept_positions.size(); ++i) {
+    const int pos = kept_positions[i];
+    CUBIST_CHECK(pos >= 0 && pos < m, "kept position out of range");
+    CUBIST_CHECK(i == 0 || kept_positions[i - 1] < pos,
+                 "kept positions must be strictly ascending");
+    expected.push_back(parent_shape.extent(pos));
+  }
+  CUBIST_CHECK(out.shape().extents() == expected,
+               "projection output shape mismatch");
+  std::vector<std::int64_t> strides(static_cast<std::size_t>(m), 0);
+  for (std::size_t i = 0; i < kept_positions.size(); ++i) {
+    strides[kept_positions[i]] = out.shape().stride(static_cast<int>(i));
+  }
+  return strides;
+}
+
+}  // namespace
+
+AggregationStats project(const DenseArray& parent,
+                         const std::vector<int>& kept_positions,
+                         DenseArray* out) {
+  CUBIST_CHECK(out != nullptr, "null projection output");
+  const std::vector<std::int64_t> strides =
+      multi_projection_strides(parent.shape(), kept_positions, *out);
+  const int m = parent.ndim();
+  Value* dst = out->data();
+  if (m == 0) {
+    dst[0] += parent[0];
+    return {1, 1};
+  }
+  std::vector<std::int64_t> index(static_cast<std::size_t>(m), 0);
+  for (std::int64_t linear = 0; linear < parent.size(); ++linear) {
+    parent.shape().unravel(linear, index.data());
+    std::int64_t projected = 0;
+    for (int d = 0; d < m; ++d) {
+      projected += index[d] * strides[d];
+    }
+    dst[projected] += parent[linear];
+  }
+  return {parent.size(), parent.size()};
+}
+
+AggregationStats project(const SparseArray& parent,
+                         const std::vector<int>& kept_positions,
+                         DenseArray* out) {
+  CUBIST_CHECK(out != nullptr, "null projection output");
+  const std::vector<std::int64_t> strides =
+      multi_projection_strides(parent.shape(), kept_positions, *out);
+  const int m = parent.ndim();
+  Value* dst = out->data();
+  AggregationStats stats;
+  parent.for_each_nonzero([&](const std::int64_t* index, Value value) {
+    std::int64_t projected = 0;
+    for (int d = 0; d < m; ++d) {
+      projected += index[d] * strides[d];
+    }
+    dst[projected] += value;
+    ++stats.cells_scanned;
+    ++stats.updates;
+  });
+  return stats;
+}
+
+}  // namespace cubist

@@ -1,0 +1,69 @@
+// Simultaneous multi-way aggregation kernels.
+//
+// The central operation of cube construction with maximal cache and memory
+// reuse: ONE scan of a parent array updates ALL of its children at once
+// (paper §1 "Cache and Memory Reuse"). A child is the parent with exactly
+// one dimension aggregated away (summed over).
+//
+// Kernels are expressed in *position space*: a target names the position of
+// the aggregated dimension within the parent's dimension list. The lattice
+// layer maps DimSets to positions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "array/dense_array.h"
+#include "array/sparse_array.h"
+
+namespace cubist {
+
+/// One child to produce during a parent scan.
+struct AggregationTarget {
+  /// Position (0-based, within the parent's dimension list) of the
+  /// dimension summed away.
+  int aggregated_pos;
+  /// Output array; its shape must equal parent.shape().without_dim(pos).
+  /// Cells are accumulated into (+=), so callers can aggregate several
+  /// parents into one child if they wish; the cube builder zero-fills.
+  DenseArray* child;
+};
+
+/// Work accounting returned by the kernels; feeds the virtual-time model.
+struct AggregationStats {
+  /// Cells of the parent visited (dense: shape.size(); sparse: nnz).
+  std::int64_t cells_scanned = 0;
+  /// Individual `child += value` updates performed (= cells * #targets).
+  std::int64_t updates = 0;
+
+  AggregationStats& operator+=(const AggregationStats& o) {
+    cells_scanned += o.cells_scanned;
+    updates += o.updates;
+    return *this;
+  }
+};
+
+/// Scans a dense parent once, accumulating every target simultaneously.
+AggregationStats aggregate_children(const DenseArray& parent,
+                                    std::span<const AggregationTarget> targets);
+
+/// Scans a chunk-offset sparse parent once, accumulating every target.
+/// Uses a per-chunk-shape offset table so interior chunks cost one lookup
+/// and one add per (non-zero, target).
+AggregationStats aggregate_children(const SparseArray& parent,
+                                    std::span<const AggregationTarget> targets);
+
+/// Generic projection: aggregates away every parent dimension NOT listed
+/// in `kept_positions` (ascending positions into the parent's dimension
+/// list) in a single scan. `out` must have the kept extents and is
+/// accumulated into. Used by the naive all-from-root baseline and the
+/// reference verifier — deliberately an independent code path from the
+/// multi-way kernels.
+AggregationStats project(const DenseArray& parent,
+                         const std::vector<int>& kept_positions,
+                         DenseArray* out);
+AggregationStats project(const SparseArray& parent,
+                         const std::vector<int>& kept_positions,
+                         DenseArray* out);
+
+}  // namespace cubist

@@ -1,0 +1,94 @@
+#include "array/block.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace cubist {
+
+BlockRange::BlockRange(std::vector<std::int64_t> lo,
+                       std::vector<std::int64_t> hi)
+    : lo_(std::move(lo)), hi_(std::move(hi)) {
+  CUBIST_CHECK(lo_.size() == hi_.size(), "block rank mismatch");
+  for (std::size_t d = 0; d < lo_.size(); ++d) {
+    CUBIST_CHECK(lo_[d] >= 0 && lo_[d] < hi_[d],
+                 "empty or negative block range in dim " << d);
+  }
+}
+
+std::vector<std::int64_t> BlockRange::extents() const {
+  std::vector<std::int64_t> out(lo_.size());
+  for (std::size_t d = 0; d < lo_.size(); ++d) {
+    out[d] = hi_[d] - lo_[d];
+  }
+  return out;
+}
+
+std::int64_t BlockRange::size() const {
+  std::int64_t product = 1;
+  for (int d = 0; d < ndim(); ++d) {
+    product *= extent(d);
+  }
+  return product;
+}
+
+bool BlockRange::contains(const std::int64_t* global_index) const {
+  for (int d = 0; d < ndim(); ++d) {
+    if (global_index[d] < lo_[d] || global_index[d] >= hi_[d]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void BlockRange::to_local(const std::int64_t* global_index,
+                          std::int64_t* local_index) const {
+  for (int d = 0; d < ndim(); ++d) {
+    CUBIST_DCHECK(global_index[d] >= lo_[d] && global_index[d] < hi_[d],
+                  "global index outside block in dim " << d);
+    local_index[d] = global_index[d] - lo_[d];
+  }
+}
+
+std::string BlockRange::to_string() const {
+  std::ostringstream out;
+  for (int d = 0; d < ndim(); ++d) {
+    if (d) out << 'x';
+    out << '[' << lo_[d] << ',' << hi_[d] << ')';
+  }
+  return out.str();
+}
+
+std::pair<std::int64_t, std::int64_t> split_range(std::int64_t extent,
+                                                  std::int64_t parts,
+                                                  std::int64_t part) {
+  CUBIST_CHECK(parts > 0 && part >= 0 && part < parts,
+               "bad split: part " << part << " of " << parts);
+  CUBIST_CHECK(extent >= parts,
+               "cannot split extent " << extent << " into " << parts
+                                      << " non-empty pieces");
+  const std::int64_t base = extent / parts;
+  const std::int64_t remainder = extent % parts;
+  const std::int64_t lo = part * base + std::min(part, remainder);
+  const std::int64_t hi = lo + base + (part < remainder ? 1 : 0);
+  return {lo, hi};
+}
+
+BlockRange block_for(const std::vector<std::int64_t>& global_extents,
+                     const std::vector<std::int64_t>& splits,
+                     const std::vector<std::int64_t>& coords) {
+  CUBIST_CHECK(global_extents.size() == splits.size() &&
+                   splits.size() == coords.size(),
+               "rank mismatch");
+  std::vector<std::int64_t> lo(global_extents.size());
+  std::vector<std::int64_t> hi(global_extents.size());
+  for (std::size_t d = 0; d < global_extents.size(); ++d) {
+    auto [lo_d, hi_d] = split_range(global_extents[d], splits[d], coords[d]);
+    lo[d] = lo_d;
+    hi[d] = hi_d;
+  }
+  return BlockRange(std::move(lo), std::move(hi));
+}
+
+}  // namespace cubist

@@ -1,0 +1,25 @@
+#include "array/dense_array.h"
+
+namespace cubist {
+
+void DenseArray::accumulate(const DenseArray& other) {
+  CUBIST_CHECK(shape_ == other.shape_,
+               "accumulate shape mismatch: " << shape_.to_string() << " vs "
+                                             << other.shape_.to_string());
+  const Value* src = other.data();
+  Value* dst = data();
+  const std::int64_t n = size();
+  for (std::int64_t i = 0; i < n; ++i) {
+    dst[i] += src[i];
+  }
+}
+
+Value DenseArray::total() const {
+  Value sum{0};
+  for (std::int64_t i = 0; i < size(); ++i) {
+    sum += data_[static_cast<std::size_t>(i)];
+  }
+  return sum;
+}
+
+}  // namespace cubist

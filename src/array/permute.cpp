@@ -1,0 +1,81 @@
+#include "array/permute.h"
+
+#include "common/error.h"
+
+namespace cubist {
+namespace {
+
+void check_permutation(const std::vector<int>& perm, int ndim) {
+  CUBIST_CHECK(static_cast<int>(perm.size()) == ndim,
+               "permutation rank mismatch");
+  std::vector<bool> seen(static_cast<std::size_t>(ndim), false);
+  for (int d : perm) {
+    CUBIST_CHECK(d >= 0 && d < ndim && !seen[static_cast<std::size_t>(d)],
+                 "not a permutation");
+    seen[static_cast<std::size_t>(d)] = true;
+  }
+}
+
+std::vector<std::int64_t> permuted_extents(const Shape& shape,
+                                           const std::vector<int>& perm) {
+  std::vector<std::int64_t> extents(perm.size());
+  for (std::size_t pos = 0; pos < perm.size(); ++pos) {
+    extents[pos] = shape.extent(perm[pos]);
+  }
+  return extents;
+}
+
+}  // namespace
+
+DenseArray permute_dims(const DenseArray& input,
+                        const std::vector<int>& perm) {
+  const int m = input.ndim();
+  check_permutation(perm, m);
+  DenseArray out{Shape{permuted_extents(input.shape(), perm)}};
+  std::vector<std::int64_t> src(static_cast<std::size_t>(m));
+  std::vector<std::int64_t> dst(static_cast<std::size_t>(m));
+  for (std::int64_t linear = 0; linear < input.size(); ++linear) {
+    input.shape().unravel(linear, src.data());
+    for (int pos = 0; pos < m; ++pos) {
+      dst[pos] = src[perm[pos]];
+    }
+    out[out.shape().linear_index(dst.data())] = input[linear];
+  }
+  return out;
+}
+
+SparseArray permute_dims(const SparseArray& input,
+                         const std::vector<int>& perm,
+                         std::vector<std::int64_t> chunk_extents) {
+  const int m = input.ndim();
+  check_permutation(perm, m);
+  if (chunk_extents.empty()) {
+    chunk_extents.resize(static_cast<std::size_t>(m));
+    for (int pos = 0; pos < m; ++pos) {
+      chunk_extents[pos] = input.chunk_extents()[perm[pos]];
+    }
+  }
+  SparseArray out{Shape{permuted_extents(input.shape(), perm)},
+                  std::move(chunk_extents)};
+  std::vector<std::int64_t> dst(static_cast<std::size_t>(m));
+  input.for_each_nonzero([&](const std::int64_t* src, Value value) {
+    for (int pos = 0; pos < m; ++pos) {
+      dst[pos] = src[perm[pos]];
+    }
+    out.push(dst.data(), value);
+  });
+  out.finalize();
+  return out;
+}
+
+std::vector<std::int64_t> permute_coords(
+    const std::vector<std::int64_t>& coords, const std::vector<int>& perm) {
+  check_permutation(perm, static_cast<int>(coords.size()));
+  std::vector<std::int64_t> out(coords.size());
+  for (std::size_t pos = 0; pos < perm.size(); ++pos) {
+    out[pos] = coords[perm[pos]];
+  }
+  return out;
+}
+
+}  // namespace cubist

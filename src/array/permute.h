@@ -1,0 +1,30 @@
+// Physical dimension permutation.
+//
+// The aggregation tree is optimal when dimension sizes are non-increasing
+// by position (Theorems 6/7). Real data rarely arrives that way, so these
+// helpers transpose arrays into a chosen order and translate coordinates
+// back. `perm[pos] = d` means output position `pos` holds input
+// dimension `d` (the convention of core/ordering.h).
+#pragma once
+
+#include <vector>
+
+#include "array/dense_array.h"
+#include "array/sparse_array.h"
+
+namespace cubist {
+
+/// Transposed copy of `input` with dimensions reordered by `perm`.
+DenseArray permute_dims(const DenseArray& input, const std::vector<int>& perm);
+
+/// Transposed copy of a sparse array; `chunk_extents` are for the OUTPUT
+/// order (empty = input chunk extents permuted along).
+SparseArray permute_dims(const SparseArray& input, const std::vector<int>& perm,
+                         std::vector<std::int64_t> chunk_extents = {});
+
+/// Translates coordinates given in input-dimension order to the permuted
+/// (output) order: out[pos] = coords[perm[pos]].
+std::vector<std::int64_t> permute_coords(
+    const std::vector<std::int64_t>& coords, const std::vector<int>& perm);
+
+}  // namespace cubist

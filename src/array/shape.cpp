@@ -1,0 +1,40 @@
+#include "array/shape.h"
+
+#include <sstream>
+
+#include "common/mathutil.h"
+
+namespace cubist {
+
+Shape::Shape(std::vector<std::int64_t> extents)
+    : extents_(std::move(extents)) {
+  size_ = checked_product(extents_);  // also validates positivity
+  strides_.resize(extents_.size());
+  std::int64_t stride = 1;
+  for (int d = ndim() - 1; d >= 0; --d) {
+    strides_[d] = stride;
+    stride *= extents_[d];
+  }
+}
+
+Shape Shape::without_dim(int d) const {
+  CUBIST_CHECK(d >= 0 && d < ndim(), "dimension " << d << " out of range");
+  std::vector<std::int64_t> reduced;
+  reduced.reserve(extents_.size() - 1);
+  for (int i = 0; i < ndim(); ++i) {
+    if (i != d) reduced.push_back(extents_[i]);
+  }
+  return Shape(std::move(reduced));
+}
+
+std::string Shape::to_string() const {
+  if (ndim() == 0) return "scalar";
+  std::ostringstream out;
+  for (int d = 0; d < ndim(); ++d) {
+    if (d) out << 'x';
+    out << extents_[d];
+  }
+  return out.str();
+}
+
+}  // namespace cubist

@@ -1,0 +1,72 @@
+// Shape: extents + row-major strides of an n-dimensional array.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cubist {
+
+/// Cell value type. Generators emit small integers stored as doubles, so
+/// sums are exact and independent of reduction order (see DESIGN.md §2).
+using Value = double;
+
+/// Extents and row-major strides. Index 0 is the slowest-varying dimension.
+class Shape {
+ public:
+  Shape() = default;
+
+  explicit Shape(std::vector<std::int64_t> extents);
+
+  int ndim() const { return static_cast<int>(extents_.size()); }
+  std::int64_t extent(int d) const { return extents_[d]; }
+  const std::vector<std::int64_t>& extents() const { return extents_; }
+  std::int64_t stride(int d) const { return strides_[d]; }
+  const std::vector<std::int64_t>& strides() const { return strides_; }
+
+  /// Total number of cells (1 for the 0-dimensional `all` scalar).
+  std::int64_t size() const { return size_; }
+
+  /// Linear offset of a multi-index (size ndim()).
+  std::int64_t linear_index(const std::int64_t* index) const {
+    std::int64_t offset = 0;
+    for (int d = 0; d < ndim(); ++d) {
+      CUBIST_DCHECK(index[d] >= 0 && index[d] < extents_[d],
+                    "index out of bounds in dim " << d);
+      offset += index[d] * strides_[d];
+    }
+    return offset;
+  }
+
+  std::int64_t linear_index(const std::vector<std::int64_t>& index) const {
+    CUBIST_CHECK(static_cast<int>(index.size()) == ndim(),
+                 "index rank mismatch");
+    return linear_index(index.data());
+  }
+
+  /// Inverse of linear_index; writes ndim() coordinates into `index`.
+  void unravel(std::int64_t linear, std::int64_t* index) const {
+    CUBIST_DCHECK(linear >= 0 && linear < size_, "linear index out of range");
+    for (int d = 0; d < ndim(); ++d) {
+      index[d] = linear / strides_[d];
+      linear -= index[d] * strides_[d];
+    }
+  }
+
+  /// Shape with dimension `d` removed (the shape of an aggregated child).
+  Shape without_dim(int d) const;
+
+  bool operator==(const Shape&) const = default;
+
+  /// "64x64x32" style rendering; the scalar shape prints as "scalar".
+  std::string to_string() const;
+
+ private:
+  std::vector<std::int64_t> extents_;
+  std::vector<std::int64_t> strides_;
+  std::int64_t size_ = 1;
+};
+
+}  // namespace cubist

@@ -1,0 +1,173 @@
+#include "array/sparse_array.h"
+
+#include <algorithm>
+
+#include "common/mathutil.h"
+
+namespace cubist {
+namespace {
+
+Shape make_chunk_grid(const Shape& shape,
+                      const std::vector<std::int64_t>& chunk_extents) {
+  CUBIST_CHECK(static_cast<int>(chunk_extents.size()) == shape.ndim(),
+               "chunk rank mismatch");
+  std::vector<std::int64_t> grid(chunk_extents.size());
+  for (int d = 0; d < shape.ndim(); ++d) {
+    CUBIST_CHECK(chunk_extents[d] > 0, "chunk extent must be positive");
+    grid[d] = ceil_div(shape.extent(d), chunk_extents[d]);
+  }
+  return Shape(std::move(grid));
+}
+
+}  // namespace
+
+SparseArray::SparseArray(Shape shape, std::vector<std::int64_t> chunk_extents)
+    : shape_(std::move(shape)),
+      chunk_extents_(std::move(chunk_extents)),
+      chunk_grid_(make_chunk_grid(shape_, chunk_extents_)),
+      chunks_(static_cast<std::size_t>(chunk_grid_.size())) {
+  std::int64_t chunk_volume = checked_product(chunk_extents_);
+  CUBIST_CHECK(chunk_volume <= std::int64_t{1} << 32,
+               "chunk volume exceeds 32-bit offsets");
+}
+
+SparseArray SparseArray::from_dense(const DenseArray& dense,
+                                    std::vector<std::int64_t> chunk_extents) {
+  SparseArray sparse(dense.shape(), std::move(chunk_extents));
+  std::vector<std::int64_t> index(static_cast<std::size_t>(dense.ndim()), 0);
+  for (std::int64_t linear = 0; linear < dense.size(); ++linear) {
+    dense.shape().unravel(linear, index.data());
+    if (dense[linear] != Value{0}) {
+      sparse.push(index.data(), dense[linear]);
+    }
+  }
+  sparse.finalize();
+  return sparse;
+}
+
+std::int64_t SparseArray::locate(const std::int64_t* index,
+                                 Offset* offset_out) const {
+  std::int64_t chunk_linear = 0;
+  std::int64_t offset = 0;
+  for (int d = 0; d < ndim(); ++d) {
+    CUBIST_DCHECK(index[d] >= 0 && index[d] < shape_.extent(d),
+                  "index out of bounds in dim " << d);
+    const std::int64_t chunk_coord = index[d] / chunk_extents_[d];
+    const std::int64_t local = index[d] - chunk_coord * chunk_extents_[d];
+    chunk_linear += chunk_coord * chunk_grid_.stride(d);
+    // Boundary chunks use their own (clipped) extents for the offset basis.
+    const std::int64_t this_extent =
+        std::min(chunk_extents_[d],
+                 shape_.extent(d) - chunk_coord * chunk_extents_[d]);
+    offset = offset * this_extent + local;
+  }
+  *offset_out = static_cast<Offset>(offset);
+  return chunk_linear;
+}
+
+void SparseArray::push(const std::int64_t* index, Value value) {
+  CUBIST_CHECK(!finalized_, "push after finalize");
+  if (value == Value{0}) return;
+  Offset offset;
+  const std::int64_t chunk_id = locate(index, &offset);
+  Chunk& chunk = chunks_[static_cast<std::size_t>(chunk_id)];
+  chunk.offsets.push_back(offset);
+  chunk.values.push_back(value);
+  ++nnz_;
+}
+
+void SparseArray::finalize() {
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    Chunk& chunk = chunks_[c];
+    bool sorted = true;
+    for (std::size_t i = 1; i < chunk.offsets.size(); ++i) {
+      CUBIST_CHECK(chunk.offsets[i - 1] != chunk.offsets[i],
+                   "chunk " << c << " has a duplicate offset");
+      if (chunk.offsets[i - 1] > chunk.offsets[i]) {
+        sorted = false;
+        break;
+      }
+    }
+    if (sorted) continue;
+    // Cells can arrive out of chunk order (e.g. extract_block walks the
+    // source's chunks, not the destination's); restore the canonical
+    // ascending-offset layout.
+    std::vector<std::size_t> order(chunk.offsets.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return chunk.offsets[a] < chunk.offsets[b];
+    });
+    Chunk sorted_chunk;
+    sorted_chunk.offsets.reserve(chunk.offsets.size());
+    sorted_chunk.values.reserve(chunk.values.size());
+    for (std::size_t i : order) {
+      CUBIST_CHECK(sorted_chunk.offsets.empty() ||
+                       sorted_chunk.offsets.back() != chunk.offsets[i],
+                   "chunk " << c << " has a duplicate offset");
+      sorted_chunk.offsets.push_back(chunk.offsets[i]);
+      sorted_chunk.values.push_back(chunk.values[i]);
+    }
+    chunk = std::move(sorted_chunk);
+  }
+  finalized_ = true;
+}
+
+std::vector<std::int64_t> SparseArray::chunk_shape_at(
+    const std::vector<std::int64_t>& chunk_coords) const {
+  std::vector<std::int64_t> extents(static_cast<std::size_t>(ndim()));
+  for (int d = 0; d < ndim(); ++d) {
+    extents[d] = std::min(chunk_extents_[d],
+                          shape_.extent(d) - chunk_coords[d] * chunk_extents_[d]);
+  }
+  return extents;
+}
+
+std::vector<std::int64_t> SparseArray::chunk_base(
+    const std::vector<std::int64_t>& chunk_coords) const {
+  std::vector<std::int64_t> base(static_cast<std::size_t>(ndim()));
+  for (int d = 0; d < ndim(); ++d) {
+    base[d] = chunk_coords[d] * chunk_extents_[d];
+  }
+  return base;
+}
+
+bool SparseArray::chunk_is_full(
+    const std::vector<std::int64_t>& chunk_coords) const {
+  for (int d = 0; d < ndim(); ++d) {
+    if ((chunk_coords[d] + 1) * chunk_extents_[d] > shape_.extent(d)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SparseArray::for_each_nonzero(
+    const std::function<void(const std::int64_t*, Value)>& fn) const {
+  std::vector<std::int64_t> chunk_coords(static_cast<std::size_t>(ndim()), 0);
+  std::vector<std::int64_t> index(static_cast<std::size_t>(ndim()), 0);
+  for (std::int64_t chunk_id = 0; chunk_id < num_chunks(); ++chunk_id) {
+    chunk_grid_.unravel(chunk_id, chunk_coords.data());
+    const auto base = chunk_base(chunk_coords);
+    const auto extents = chunk_shape_at(chunk_coords);
+    const Shape local_shape{extents};
+    const Chunk& chunk = chunks_[static_cast<std::size_t>(chunk_id)];
+    for (std::size_t i = 0; i < chunk.offsets.size(); ++i) {
+      local_shape.unravel(static_cast<std::int64_t>(chunk.offsets[i]),
+                          index.data());
+      for (int d = 0; d < ndim(); ++d) {
+        index[d] += base[d];
+      }
+      fn(index.data(), chunk.values[i]);
+    }
+  }
+}
+
+DenseArray SparseArray::to_dense() const {
+  DenseArray dense(shape_);
+  for_each_nonzero([&](const std::int64_t* index, Value value) {
+    dense[shape_.linear_index(index)] += value;
+  });
+  return dense;
+}
+
+}  // namespace cubist

@@ -1,0 +1,111 @@
+// SparseArray: the paper's chunk-offset compressed sparse format (§6).
+//
+// The array is divided into chunks. Each chunk stores only its non-zero
+// cells, as parallel vectors of (offset within the chunk, value); the offset
+// is the row-major linear index relative to the chunk's own extents. This is
+// exactly the "chunk-offset compression" of Zhao et al. that the paper's
+// experiments use for the input dataset.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "array/dense_array.h"
+#include "array/shape.h"
+
+namespace cubist {
+
+class SparseArray {
+ public:
+  /// Offsets within a chunk are 32-bit: chunk volume must stay < 2^32.
+  using Offset = std::uint32_t;
+
+  /// An empty sparse array with the given global shape, chunked by
+  /// `chunk_extents` (clipped at the array boundary).
+  SparseArray(Shape shape, std::vector<std::int64_t> chunk_extents);
+
+  /// Compresses a dense array; cells equal to 0 are dropped.
+  static SparseArray from_dense(const DenseArray& dense,
+                                std::vector<std::int64_t> chunk_extents);
+
+  const Shape& shape() const { return shape_; }
+  int ndim() const { return shape_.ndim(); }
+  const std::vector<std::int64_t>& chunk_extents() const {
+    return chunk_extents_;
+  }
+  /// Shape of the chunk grid (number of chunks along each dimension).
+  const Shape& chunk_grid() const { return chunk_grid_; }
+  std::int64_t num_chunks() const { return chunk_grid_.size(); }
+
+  std::int64_t nnz() const { return nnz_; }
+  /// Fraction of cells that are non-zero (the paper's "sparsity" knob).
+  double density() const {
+    return static_cast<double>(nnz_) / static_cast<double>(shape_.size());
+  }
+  /// Heap footprint: offsets + values.
+  std::int64_t bytes() const {
+    return nnz_ * static_cast<std::int64_t>(sizeof(Offset) + sizeof(Value));
+  }
+
+  /// Appends a non-zero cell. Within one chunk, cells must arrive in
+  /// ascending offset order (global row-major iteration guarantees this);
+  /// `finalize()` verifies. Zero values are dropped silently.
+  void push(const std::int64_t* index, Value value);
+  void push(const std::vector<std::int64_t>& index, Value value) {
+    CUBIST_CHECK(static_cast<int>(index.size()) == ndim(),
+                 "index rank mismatch");
+    push(index.data(), value);
+  }
+
+  /// Validates per-chunk offset ordering; call once after the last push().
+  void finalize();
+
+  /// Invokes fn(index, value) for every non-zero, in chunk order.
+  /// `index` points at ndim() global coordinates, valid during the call.
+  void for_each_nonzero(
+      const std::function<void(const std::int64_t*, Value)>& fn) const;
+
+  /// Decompresses to a dense array (test/debug aid).
+  DenseArray to_dense() const;
+
+  // --- chunk-level access, used by the fast aggregation kernel ---
+
+  /// Extents of the chunk at chunk-grid coordinates `chunk_coords`
+  /// (interior chunks get `chunk_extents()`, boundary chunks are clipped).
+  std::vector<std::int64_t> chunk_shape_at(
+      const std::vector<std::int64_t>& chunk_coords) const;
+
+  /// Global coordinates of the chunk's origin cell.
+  std::vector<std::int64_t> chunk_base(
+      const std::vector<std::int64_t>& chunk_coords) const;
+
+  /// True if the chunk has the full `chunk_extents()` shape.
+  bool chunk_is_full(const std::vector<std::int64_t>& chunk_coords) const;
+
+  std::span<const Offset> chunk_offsets(std::int64_t chunk_id) const {
+    return chunks_[static_cast<std::size_t>(chunk_id)].offsets;
+  }
+  std::span<const Value> chunk_values(std::int64_t chunk_id) const {
+    return chunks_[static_cast<std::size_t>(chunk_id)].values;
+  }
+
+ private:
+  struct Chunk {
+    std::vector<Offset> offsets;
+    std::vector<Value> values;
+  };
+
+  /// Chunk grid coordinates and within-chunk offset of a global index.
+  std::int64_t locate(const std::int64_t* index, Offset* offset_out) const;
+
+  Shape shape_;
+  std::vector<std::int64_t> chunk_extents_;
+  Shape chunk_grid_;
+  std::vector<Chunk> chunks_;
+  std::int64_t nnz_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace cubist

@@ -1,0 +1,30 @@
+#include "common/dimset.h"
+
+#include <sstream>
+
+namespace cubist {
+
+std::string DimSet::to_string() const {
+  std::ostringstream out;
+  out << '{';
+  bool first = true;
+  for (int d : dims()) {
+    if (!first) out << ',';
+    out << d;
+    first = false;
+  }
+  out << '}';
+  return out.str();
+}
+
+std::string DimSet::to_letters() const {
+  if (empty()) return "all";
+  if (max_dim() >= 26) return to_string();
+  std::string out;
+  for (int d : dims()) {
+    out.push_back(static_cast<char>('A' + d));
+  }
+  return out;
+}
+
+}  // namespace cubist

@@ -1,0 +1,28 @@
+#include "common/error.h"
+
+namespace cubist::detail {
+namespace {
+
+std::string format(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  std::ostringstream out;
+  out << kind << ": `" << expr << "` failed at " << file << ":" << line;
+  if (!msg.empty()) {
+    out << " — " << msg;
+  }
+  return out.str();
+}
+
+}  // namespace
+
+void throw_invalid_argument(const char* expr, const char* file, int line,
+                            const std::string& msg) {
+  throw InvalidArgument(format("precondition", expr, file, line, msg));
+}
+
+void throw_internal_error(const char* expr, const char* file, int line,
+                          const std::string& msg) {
+  throw InternalError(format("invariant", expr, file, line, msg));
+}
+
+}  // namespace cubist::detail

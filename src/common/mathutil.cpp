@@ -1,0 +1,33 @@
+#include "common/mathutil.h"
+
+#include <limits>
+
+namespace cubist {
+
+std::int64_t checked_product(const std::vector<std::int64_t>& extents) {
+  std::int64_t product = 1;
+  for (std::int64_t e : extents) {
+    CUBIST_CHECK(e > 0, "extent must be positive, got " << e);
+    CUBIST_CHECK(product <= std::numeric_limits<std::int64_t>::max() / e,
+                 "extent product overflows int64");
+    product *= e;
+  }
+  return product;
+}
+
+std::int64_t product_excluding(const std::vector<std::int64_t>& extents,
+                               int skip) {
+  CUBIST_CHECK(skip >= 0 && skip < static_cast<int>(extents.size()),
+               "skip index " << skip << " out of range");
+  std::int64_t product = 1;
+  for (int i = 0; i < static_cast<int>(extents.size()); ++i) {
+    if (i == skip) continue;
+    CUBIST_CHECK(extents[i] > 0, "extent must be positive");
+    CUBIST_CHECK(product <= std::numeric_limits<std::int64_t>::max() / extents[i],
+                 "extent product overflows int64");
+    product *= extents[i];
+  }
+  return product;
+}
+
+}  // namespace cubist

@@ -1,0 +1,39 @@
+// Small integer math helpers used throughout cubist.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cubist {
+
+/// True iff x is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// floor(log2(x)). Precondition: x > 0.
+inline int ilog2(std::uint64_t x) {
+  CUBIST_CHECK(x > 0, "ilog2 of 0");
+  return 63 - __builtin_clzll(x);
+}
+
+/// 2^e as a 64-bit integer. Precondition: 0 <= e < 64.
+inline std::uint64_t pow2(int e) {
+  CUBIST_CHECK(e >= 0 && e < 64, "pow2 exponent out of range: " << e);
+  return std::uint64_t{1} << e;
+}
+
+/// ceil(a / b) for positive integers.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// Product of a vector of extents, checked against int64 overflow.
+std::int64_t checked_product(const std::vector<std::int64_t>& extents);
+
+/// Product of all entries except index `skip` (used for view sizes
+/// |D_0 x .. x D_{n-1}| / D_skip in the memory-bound formulas).
+std::int64_t product_excluding(const std::vector<std::int64_t>& extents,
+                               int skip);
+
+}  // namespace cubist

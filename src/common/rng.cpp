@@ -1,0 +1,42 @@
+#include "common/rng.h"
+
+#include "common/error.h"
+
+namespace cubist {
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) {
+  SplitMix64 mixer(seed);
+  for (auto& word : s_) {
+    word = mixer.next();
+  }
+}
+
+std::uint64_t Xoshiro256ss::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256ss::next_below(std::uint64_t bound) {
+  CUBIST_CHECK(bound > 0, "next_below(0)");
+  // Rejection sampling over the largest multiple of `bound`.
+  const std::uint64_t limit = bound * (~std::uint64_t{0} / bound);
+  std::uint64_t draw;
+  do {
+    draw = next();
+  } while (draw >= limit);
+  return draw % bound;
+}
+
+double Xoshiro256ss::next_double() {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace cubist

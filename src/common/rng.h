@@ -1,0 +1,65 @@
+// Deterministic random number generation.
+//
+// Two distinct needs:
+//  * `SplitMix64` / `Xoshiro256ss` — sequential streams for generators and
+//    property tests (seed-stable across platforms; we do not use <random>
+//    engines whose distributions are implementation-defined).
+//  * `cell_hash` — a *stateless* position hash. Sparse dataset generation
+//    decides whether cell #i is populated from hash(seed, i) alone, so every
+//    processor partition of the same array sees exactly the same global
+//    data without any scatter step (see DESIGN.md §2).
+#pragma once
+
+#include <cstdint>
+
+namespace cubist {
+
+/// SplitMix64: tiny, solid 64-bit mixer; also used to seed Xoshiro.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna), public-domain algorithm.
+class Xoshiro256ss {
+ public:
+  explicit Xoshiro256ss(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). Precondition: bound > 0. Uses rejection
+  /// sampling, so the distribution is exactly uniform.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+/// Stateless position hash: a strong 64-bit mix of (seed, index).
+/// The foundation of partition-invariant dataset generation.
+constexpr std::uint64_t cell_hash(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t z = seed ^ (index * 0x9e3779b97f4a7c15ULL) ^
+                    0xd1b54a32d192ed03ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace cubist

@@ -1,0 +1,69 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace cubist {
+
+void TextTable::header(std::vector<std::string> cells) {
+  rows_.insert(rows_.begin(), std::move(cells));
+  has_header_ = true;
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths;
+  for (const auto& row : rows_) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const auto& row = rows_[r];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const auto pad = widths[c] - row[c].size();
+      if (c == 0) {
+        out << row[c] << std::string(pad, ' ');
+      } else {
+        out << "  " << std::string(pad, ' ') << row[c];
+      }
+    }
+    out << '\n';
+    if (r == 0 && has_header_) {
+      std::size_t total = 0;
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        total += widths[c] + (c == 0 ? 0 : 2);
+      }
+      out << std::string(total, '-') << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string TextTable::fixed(double value, int digits) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", digits, value);
+  return buffer;
+}
+
+std::string TextTable::with_thousands(long long value) {
+  std::string raw = std::to_string(value < 0 ? -value : value);
+  std::string grouped;
+  int count = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) grouped.push_back(',');
+    grouped.push_back(*it);
+    ++count;
+  }
+  if (value < 0) grouped.push_back('-');
+  std::reverse(grouped.begin(), grouped.end());
+  return grouped;
+}
+
+}  // namespace cubist

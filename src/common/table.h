@@ -1,0 +1,31 @@
+// Plain-text aligned table rendering, used by every bench harness to print
+// paper-figure series in a diff-friendly format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cubist {
+
+/// Collects rows of cells and renders them column-aligned. The first row
+/// added via `header()` is underlined. Numeric helpers format consistently
+/// so EXPERIMENTS.md diffs stay stable.
+class TextTable {
+ public:
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+
+  /// Renders the table; every column is padded to its widest cell and
+  /// right-aligned except the first column.
+  std::string render() const;
+
+  // Formatting helpers.
+  static std::string fixed(double value, int digits);
+  static std::string with_thousands(long long value);
+
+ private:
+  bool has_header_ = false;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cubist

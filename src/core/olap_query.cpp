@@ -1,0 +1,110 @@
+#include "core/olap_query.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cubist {
+
+DenseArray slice(const DenseArray& view, int dim, std::int64_t index) {
+  const int m = view.ndim();
+  CUBIST_CHECK(dim >= 0 && dim < m, "slice dimension out of range");
+  CUBIST_CHECK(index >= 0 && index < view.shape().extent(dim),
+               "slice index out of range");
+  DenseArray out{view.shape().without_dim(dim)};
+  std::vector<std::int64_t> src(static_cast<std::size_t>(m), 0);
+  std::vector<std::int64_t> dst(static_cast<std::size_t>(m > 0 ? m - 1 : 0));
+  for (std::int64_t linear = 0; linear < out.size(); ++linear) {
+    out.shape().unravel(linear, dst.data());
+    int out_d = 0;
+    for (int d = 0; d < m; ++d) {
+      src[d] = (d == dim) ? index : dst[out_d++];
+    }
+    out[linear] = view[view.shape().linear_index(src.data())];
+  }
+  return out;
+}
+
+DenseArray dice(const DenseArray& view, const std::vector<std::int64_t>& lo,
+                const std::vector<std::int64_t>& hi) {
+  const int m = view.ndim();
+  CUBIST_CHECK(static_cast<int>(lo.size()) == m &&
+                   static_cast<int>(hi.size()) == m,
+               "dice range rank mismatch");
+  std::vector<std::int64_t> extents(static_cast<std::size_t>(m));
+  for (int d = 0; d < m; ++d) {
+    CUBIST_CHECK(lo[d] >= 0 && lo[d] < hi[d] &&
+                     hi[d] <= view.shape().extent(d),
+                 "dice range invalid in dim " << d);
+    extents[d] = hi[d] - lo[d];
+  }
+  DenseArray out{Shape{extents}};
+  std::vector<std::int64_t> dst(static_cast<std::size_t>(m));
+  std::vector<std::int64_t> src(static_cast<std::size_t>(m));
+  for (std::int64_t linear = 0; linear < out.size(); ++linear) {
+    out.shape().unravel(linear, dst.data());
+    for (int d = 0; d < m; ++d) {
+      src[d] = lo[d] + dst[d];
+    }
+    out[linear] = view[view.shape().linear_index(src.data())];
+  }
+  return out;
+}
+
+DenseArray rollup(const DenseArray& view, int dim,
+                  const std::vector<std::int64_t>& mapping,
+                  std::int64_t coarse_extent) {
+  const int m = view.ndim();
+  CUBIST_CHECK(dim >= 0 && dim < m, "rollup dimension out of range");
+  CUBIST_CHECK(static_cast<std::int64_t>(mapping.size()) ==
+                   view.shape().extent(dim),
+               "mapping must cover the dimension");
+  CUBIST_CHECK(coarse_extent >= 1, "coarse extent must be positive");
+  for (std::int64_t target : mapping) {
+    CUBIST_CHECK(target >= 0 && target < coarse_extent,
+                 "mapping target out of range");
+  }
+  std::vector<std::int64_t> extents = view.shape().extents();
+  extents[dim] = coarse_extent;
+  DenseArray out{Shape{extents}};
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(m));
+  for (std::int64_t linear = 0; linear < view.size(); ++linear) {
+    view.shape().unravel(linear, idx.data());
+    idx[dim] = mapping[static_cast<std::size_t>(idx[dim])];
+    out[out.shape().linear_index(idx.data())] += view[linear];
+  }
+  return out;
+}
+
+DenseArray rollup_uniform(const DenseArray& view, int dim,
+                          std::int64_t factor) {
+  CUBIST_CHECK(factor >= 1, "factor must be positive");
+  CUBIST_CHECK(dim >= 0 && dim < view.ndim(), "dimension out of range");
+  const std::int64_t extent = view.shape().extent(dim);
+  std::vector<std::int64_t> mapping(static_cast<std::size_t>(extent));
+  for (std::int64_t i = 0; i < extent; ++i) {
+    mapping[static_cast<std::size_t>(i)] = i / factor;
+  }
+  return rollup(view, dim, mapping, (extent + factor - 1) / factor);
+}
+
+std::vector<std::pair<std::int64_t, Value>> top_k(const DenseArray& view,
+                                                  int k) {
+  CUBIST_CHECK(k >= 0, "k must be non-negative");
+  const auto count = static_cast<std::size_t>(
+      std::min<std::int64_t>(k, view.size()));
+  std::vector<std::pair<std::int64_t, Value>> cells;
+  cells.reserve(static_cast<std::size_t>(view.size()));
+  for (std::int64_t i = 0; i < view.size(); ++i) {
+    cells.emplace_back(i, view[i]);
+  }
+  std::partial_sort(cells.begin(), cells.begin() + static_cast<std::ptrdiff_t>(count),
+                    cells.end(), [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  cells.resize(count);
+  return cells;
+}
+
+}  // namespace cubist

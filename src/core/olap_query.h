@@ -1,0 +1,45 @@
+// OLAP query helpers over materialized views: slice, dice, roll-up,
+// drill-down-style re-aggregation and top-k.
+//
+// These operate on the dense view arrays a cube produces; together with
+// CubeResult::query they cover the query patterns the paper's §2
+// motivates (e.g. "sales of a particular item at a particular branch over
+// a long duration", "all sales per quarter instead of per week").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "array/dense_array.h"
+
+namespace cubist {
+
+/// Fixes dimension `dim` of `view` at `index`, dropping it: the classic
+/// OLAP slice. The result has one fewer dimension.
+DenseArray slice(const DenseArray& view, int dim, std::int64_t index);
+
+/// Restricts every dimension to [lo, hi) ranges: the classic OLAP dice.
+/// The result keeps the dimensionality with clipped extents.
+DenseArray dice(const DenseArray& view,
+                const std::vector<std::int64_t>& lo,
+                const std::vector<std::int64_t>& hi);
+
+/// Coarsens dimension `dim` by a surjective coordinate mapping (e.g.
+/// weeks -> quarters): cell i of `dim` contributes to mapping[i] of the
+/// result, whose extent along `dim` is `coarse_extent`. Aggregation is
+/// SUM (roll-up of an additive measure).
+DenseArray rollup(const DenseArray& view, int dim,
+                  const std::vector<std::int64_t>& mapping,
+                  std::int64_t coarse_extent);
+
+/// Convenience: uniform roll-up grouping every `factor` consecutive
+/// coordinates (the last group may be smaller).
+DenseArray rollup_uniform(const DenseArray& view, int dim,
+                          std::int64_t factor);
+
+/// The k largest cells of a view, as (linear index, value), descending by
+/// value (ties by ascending index). k is clipped to the view size.
+std::vector<std::pair<std::int64_t, Value>> top_k(const DenseArray& view,
+                                                  int k);
+
+}  // namespace cubist

@@ -1,0 +1,76 @@
+#include "core/ordering.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+#include "core/partition.h"
+#include "core/volume_model.h"
+
+namespace cubist {
+
+std::vector<int> descending_permutation(
+    const std::vector<std::int64_t>& sizes) {
+  std::vector<int> perm(sizes.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](int a, int b) { return sizes[a] > sizes[b]; });
+  return perm;
+}
+
+std::vector<std::int64_t> apply_permutation(
+    const std::vector<std::int64_t>& values, const std::vector<int>& perm) {
+  CUBIST_CHECK(values.size() == perm.size(), "permutation rank mismatch");
+  std::vector<std::int64_t> out(values.size());
+  for (std::size_t pos = 0; pos < perm.size(); ++pos) {
+    const int d = perm[pos];
+    CUBIST_CHECK(d >= 0 && d < static_cast<int>(values.size()),
+                 "bad permutation entry");
+    out[pos] = values[d];
+  }
+  return out;
+}
+
+std::vector<int> invert_permutation(const std::vector<int>& perm) {
+  std::vector<int> inverse(perm.size(), -1);
+  for (std::size_t pos = 0; pos < perm.size(); ++pos) {
+    const int d = perm[pos];
+    CUBIST_CHECK(d >= 0 && d < static_cast<int>(perm.size()) &&
+                     inverse[d] == -1,
+                 "not a permutation");
+    inverse[d] = static_cast<int>(pos);
+  }
+  return inverse;
+}
+
+bool is_minimal_parent_ordering(const std::vector<std::int64_t>& sizes) {
+  for (std::size_t pos = 1; pos < sizes.size(); ++pos) {
+    if (sizes[pos - 1] < sizes[pos]) return false;
+  }
+  return true;
+}
+
+std::int64_t ordering_volume(const std::vector<std::int64_t>& sizes,
+                             const std::vector<int>& perm, int log_p) {
+  const std::vector<std::int64_t> ordered = apply_permutation(sizes, perm);
+  const std::vector<int> splits = greedy_partition(ordered, log_p);
+  return total_volume_elements(ordered, splits);
+}
+
+std::vector<int> best_ordering_exhaustive(
+    const std::vector<std::int64_t>& sizes, int log_p) {
+  std::vector<int> perm(sizes.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  std::vector<int> best = perm;
+  std::int64_t best_volume = ordering_volume(sizes, perm, log_p);
+  while (std::next_permutation(perm.begin(), perm.end())) {
+    const std::int64_t volume = ordering_volume(sizes, perm, log_p);
+    if (volume < best_volume) {
+      best_volume = volume;
+      best = perm;
+    }
+  }
+  return best;
+}
+
+}  // namespace cubist

@@ -1,0 +1,49 @@
+// Dimension ordering (paper §5, Theorems 6 and 7).
+//
+// The aggregation tree is parameterized by the ordering of dimensions:
+// position 0 is aggregated away last, position n-1 first. The paper proves
+// that ordering dimensions by NON-INCREASING size simultaneously
+//   * minimizes total communication volume over all n! instantiations
+//     (Theorem 6), and
+//   * makes every view come from its minimal parent (Theorem 7): the
+//     aggregation tree computes view V by aggregating the largest missing
+//     position, so minimal parents require sizes non-increasing in
+//     position.
+// These helpers produce and validate that ordering.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cubist {
+
+/// Permutation placing sizes in non-increasing order: `perm[pos]` is the
+/// original dimension stored at aggregation-tree position `pos`. Stable on
+/// ties (equal-size dimensions keep their original relative order).
+std::vector<int> descending_permutation(const std::vector<std::int64_t>& sizes);
+
+/// `out[pos] = values[perm[pos]]` — reorders per-dimension data into
+/// aggregation-tree position space.
+std::vector<std::int64_t> apply_permutation(
+    const std::vector<std::int64_t>& values, const std::vector<int>& perm);
+
+/// Inverse permutation: `inv[perm[pos]] = pos`.
+std::vector<int> invert_permutation(const std::vector<int>& perm);
+
+/// Theorem 7 predicate: with these (position-ordered) sizes, does the
+/// aggregation tree compute every view from a minimal parent? True iff the
+/// sizes are non-increasing.
+bool is_minimal_parent_ordering(const std::vector<std::int64_t>& sizes);
+
+/// Brute force over all n! orderings: the ordering (as a permutation of
+/// the dimensions) whose optimally-partitioned Theorem-3 volume is
+/// smallest. Validates Theorem 6 against descending_permutation.
+std::vector<int> best_ordering_exhaustive(
+    const std::vector<std::int64_t>& sizes, int log_p);
+
+/// Theorem-3 volume of a given ordering, with its own greedy-optimal
+/// partition (the quantity Theorem 6 ranks orderings by).
+std::int64_t ordering_volume(const std::vector<std::int64_t>& sizes,
+                             const std::vector<int>& perm, int log_p);
+
+}  // namespace cubist

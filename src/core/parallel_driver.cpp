@@ -1,0 +1,139 @@
+#include "core/parallel_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "common/error.h"
+#include "minimpi/proc_grid.h"
+
+namespace cubist {
+namespace {
+
+/// Copies a gathered view block into its place in the global view array.
+/// `view_dims` are the retained dimensions (ascending); `block` is the
+/// source rank's block of the *root*, restricted here to those dimensions.
+void place_block(DenseArray& global_view, const std::vector<int>& view_dims,
+                 const BlockRange& root_block,
+                 const std::vector<Value>& payload) {
+  const int m = static_cast<int>(view_dims.size());
+  if (m == 0) {
+    CUBIST_ASSERT(payload.size() == 1, "scalar block size mismatch");
+    global_view[0] += payload[0];
+    return;
+  }
+  std::vector<std::int64_t> lo(static_cast<std::size_t>(m));
+  std::vector<std::int64_t> extent(static_cast<std::size_t>(m));
+  std::int64_t cells = 1;
+  for (int i = 0; i < m; ++i) {
+    lo[i] = root_block.lo(view_dims[i]);
+    extent[i] = root_block.extent(view_dims[i]);
+    cells *= extent[i];
+  }
+  CUBIST_ASSERT(static_cast<std::int64_t>(payload.size()) == cells,
+                "view block size mismatch");
+  const Shape local_shape{extent};
+  std::vector<std::int64_t> local(static_cast<std::size_t>(m));
+  std::vector<std::int64_t> global(static_cast<std::size_t>(m));
+  for (std::int64_t linear = 0; linear < cells; ++linear) {
+    local_shape.unravel(linear, local.data());
+    for (int i = 0; i < m; ++i) {
+      global[i] = lo[i] + local[i];
+    }
+    global_view[global_view.shape().linear_index(global.data())] =
+        payload[static_cast<std::size_t>(linear)];
+  }
+}
+
+}  // namespace
+
+ParallelCubeReport run_parallel_cube(const std::vector<std::int64_t>& sizes,
+                                     const std::vector<int>& log_splits,
+                                     const CostModel& model,
+                                     const BlockProvider& provider,
+                                     bool collect_result,
+                                     const ParallelOptions& options) {
+  CUBIST_CHECK(provider != nullptr, "null block provider");
+  const ProcGrid grid(log_splits);
+  CUBIST_CHECK(grid.ndims() == static_cast<int>(sizes.size()),
+               "grid rank mismatch");
+  const int p = grid.size();
+  const int n = static_cast<int>(sizes.size());
+
+  ParallelCubeReport report;
+  report.rank_stats.resize(static_cast<std::size_t>(p));
+  std::atomic<std::int64_t> total_nnz{0};
+  std::optional<CubeResult> assembled;
+  if (collect_result) {
+    assembled.emplace(sizes);
+  }
+  std::mutex assemble_mutex;  // only rank 0 writes, but keep it simple
+
+  report.run = Runtime::run(p, model, [&](Comm& comm) {
+    const int rank = comm.rank();
+    const SparseArray local_root = provider(rank, grid.block(rank, sizes));
+    total_nnz.fetch_add(local_root.nnz());
+
+    ParallelBuildStats stats;
+    std::map<std::uint32_t, DenseArray> local_views = build_cube_parallel_rank(
+        comm, grid, sizes, local_root, &stats, options);
+    report.rank_stats[static_cast<std::size_t>(rank)] = stats;
+
+    if (!collect_result) return;
+    comm.barrier();
+    // Gather: for every proper view (ascending mask), each lead ships its
+    // block to rank 0, which assembles the global array. Lead sets and
+    // block geometry are deterministic, so no metadata travels.
+    for (std::uint32_t mask = 0; mask + 1 < (std::uint32_t{1} << n); ++mask) {
+      const DimSet view = DimSet::from_mask(mask);
+      const DimSet aggregated = view.complement(n);
+      const std::uint64_t tag = kGatherTagBase | mask;
+      if (rank == 0) {
+        DenseArray global_view{[&] {
+          std::vector<std::int64_t> extents;
+          for (int d : view.dims()) extents.push_back(sizes[d]);
+          return Shape{extents};
+        }()};
+        for (int src = 0; src < p; ++src) {
+          if (!grid.is_lead_for(src, aggregated)) continue;
+          std::vector<Value> payload;
+          if (src == 0) {
+            const DenseArray& mine = local_views.at(mask);
+            payload.assign(mine.data(), mine.data() + mine.size());
+          } else {
+            payload = comm.recv_values(src, tag);
+          }
+          place_block(global_view, view.dims(), grid.block(src, sizes),
+                      payload);
+        }
+        std::lock_guard lock(assemble_mutex);
+        assembled->put(view, std::move(global_view));
+      } else if (grid.is_lead_for(rank, aggregated)) {
+        const DenseArray& mine = local_views.at(mask);
+        comm.send_values(
+            0, tag,
+            std::span<const Value>(mine.data(),
+                                   static_cast<std::size_t>(mine.size())));
+      }
+    }
+  });
+
+  report.total_nnz = total_nnz.load();
+  double makespan = 0.0;
+  for (const ParallelBuildStats& stats : report.rank_stats) {
+    makespan = std::max(makespan, stats.build_clock_seconds);
+    report.max_peak_live_bytes =
+        std::max(report.max_peak_live_bytes, stats.peak_live_bytes);
+  }
+  report.construction_seconds = makespan;
+  for (const auto& [tag, bytes] : report.run.volume.bytes_by_tag) {
+    if (tag < kGatherTagBase) {
+      report.bytes_by_view[static_cast<std::uint32_t>(tag)] += bytes;
+      report.construction_bytes += bytes;
+    }
+  }
+  report.cube = std::move(assembled);
+  return report;
+}
+
+}  // namespace cubist

@@ -1,0 +1,65 @@
+// PartialCube: a partially materialized data cube.
+//
+// Materializes only a chosen subset of views (see view_selection.h); any
+// group-by on any view is still answerable, routed to the smallest
+// materialized ancestor and aggregated on the fly. The query cost in
+// cells matches the linear model the selection optimizes, so the
+// storage/latency trade-off is directly measurable (bench_partial).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "array/sparse_array.h"
+#include "common/dimset.h"
+#include "core/cube_result.h"
+#include "core/sequential_builder.h"
+
+namespace cubist {
+
+class PartialCube {
+ public:
+  /// Materializes `views` from the sparse input. Each view is computed
+  /// from its smallest materialized strict superset (or the input), in
+  /// descending-size order, so construction reuses prior results. The
+  /// input is retained (by copy) to answer queries no view covers.
+  static PartialCube build(SparseArray input, std::vector<DimSet> views,
+                           BuildStats* stats = nullptr);
+
+  int ndims() const { return input_.ndim(); }
+  const std::vector<std::int64_t>& sizes() const { return sizes_; }
+
+  bool is_materialized(DimSet view) const {
+    return views_.count(view.mask()) != 0;
+  }
+  std::vector<DimSet> materialized_views() const;
+  /// Storage held by materialized views, in bytes (input excluded).
+  std::int64_t materialized_bytes() const;
+
+  /// Direct access to a materialized view.
+  const DenseArray& view(DimSet view) const;
+
+  /// Point group-by on ANY view of the lattice. If the view is
+  /// materialized this is one lookup; otherwise the smallest materialized
+  /// ancestor is aggregated over its free dimensions at the fixed
+  /// coordinates. `cells_scanned` (optional) reports the work done,
+  /// comparable with query_cost().
+  Value query(DimSet view, const std::vector<std::int64_t>& coords,
+              std::int64_t* cells_scanned = nullptr) const;
+
+ private:
+  PartialCube(SparseArray input, std::vector<std::int64_t> sizes)
+      : input_(std::move(input)), sizes_(std::move(sizes)) {}
+
+  /// The smallest materialized superset of `view`, if any (else the
+  /// query falls through to the input).
+  std::optional<DimSet> best_ancestor(DimSet view) const;
+
+  SparseArray input_;
+  std::vector<std::int64_t> sizes_;
+  std::map<std::uint32_t, DenseArray> views_;
+};
+
+}  // namespace cubist

@@ -1,0 +1,88 @@
+#include "core/partition.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "core/volume_model.h"
+
+namespace cubist {
+
+std::vector<int> greedy_partition(const std::vector<std::int64_t>& sizes,
+                                  int log_p) {
+  CUBIST_CHECK(!sizes.empty(), "no dimensions");
+  CUBIST_CHECK(log_p >= 0, "negative processor exponent");
+  const int n = static_cast<int>(sizes.size());
+  // X_m is the cost of the *next* split along m: w_m * 2^{k_m}.
+  std::vector<std::int64_t> next_cost(static_cast<std::size_t>(n));
+  for (int m = 0; m < n; ++m) {
+    next_cost[m] = dimension_weight(sizes, m);
+  }
+  std::vector<int> log_splits(static_cast<std::size_t>(n), 0);
+  for (int step = 0; step < log_p; ++step) {
+    const auto it = std::min_element(next_cost.begin(), next_cost.end());
+    const auto m = static_cast<std::size_t>(it - next_cost.begin());
+    ++log_splits[m];
+    next_cost[m] *= 2;
+  }
+  return log_splits;
+}
+
+namespace {
+
+void compose(int ndims, int remaining, std::vector<int>& current,
+             std::vector<std::vector<int>>& out) {
+  if (static_cast<int>(current.size()) == ndims - 1) {
+    current.push_back(remaining);
+    out.push_back(current);
+    current.pop_back();
+    return;
+  }
+  for (int k = 0; k <= remaining; ++k) {
+    current.push_back(k);
+    compose(ndims, remaining - k, current, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> enumerate_partitions(int ndims, int log_p) {
+  CUBIST_CHECK(ndims >= 1, "no dimensions");
+  CUBIST_CHECK(log_p >= 0, "negative processor exponent");
+  std::vector<std::vector<int>> out;
+  std::vector<int> current;
+  compose(ndims, log_p, current, out);
+  return out;
+}
+
+std::vector<int> exhaustive_partition(const std::vector<std::int64_t>& sizes,
+                                      int log_p) {
+  std::vector<int> best;
+  std::int64_t best_volume = -1;
+  for (const auto& candidate :
+       enumerate_partitions(static_cast<int>(sizes.size()), log_p)) {
+    const std::int64_t volume = total_volume_elements(sizes, candidate);
+    if (best_volume < 0 || volume < best_volume) {
+      best_volume = volume;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+std::vector<int> worst_partition(const std::vector<std::int64_t>& sizes,
+                                 int log_p) {
+  std::vector<int> worst;
+  std::int64_t worst_volume = -1;
+  for (const auto& candidate :
+       enumerate_partitions(static_cast<int>(sizes.size()), log_p)) {
+    const std::int64_t volume = total_volume_elements(sizes, candidate);
+    if (volume > worst_volume) {
+      worst_volume = volume;
+      worst = candidate;
+    }
+  }
+  return worst;
+}
+
+}  // namespace cubist

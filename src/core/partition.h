@@ -1,0 +1,37 @@
+// Partitioning the original array over 2^k processors (paper §5, Fig. 6).
+//
+// The communication volume (Theorem 3) decomposes as
+//   V = sum_m (2^{k_m} - 1) * w_m,   w_m = dimension_weight(sizes, m),
+// so choosing the split exponents k_m is a resource-allocation problem with
+// *convex* per-dimension costs: raising k_m by one adds w_m * 2^{k_m}. The
+// greedy algorithm of Figure 6 — repeatedly split the dimension with the
+// cheapest next increment — is therefore optimal (Theorem 8), and runs in
+// O(k n) versus the C(k+n-1, n-1) partitions an exhaustive search visits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cubist {
+
+/// Figure 6: the greedy optimal partition of 2^log_p processors over the
+/// dimensions. Returns k_d per dimension with sum = log_p.
+std::vector<int> greedy_partition(const std::vector<std::int64_t>& sizes,
+                                  int log_p);
+
+/// All compositions of log_p into |sizes| non-negative exponents
+/// (every possible grid); exponentially many, for cross-checks and the
+/// partitioning bench.
+std::vector<std::vector<int>> enumerate_partitions(int ndims, int log_p);
+
+/// Brute-force argmin of Theorem-3 volume over enumerate_partitions.
+/// Used to validate Theorem 8 (greedy == exhaustive).
+std::vector<int> exhaustive_partition(const std::vector<std::int64_t>& sizes,
+                                      int log_p);
+
+/// Brute-force argmax — the *worst* grid, reported in the partitioning
+/// bench to show the spread the greedy choice avoids.
+std::vector<int> worst_partition(const std::vector<std::int64_t>& sizes,
+                                 int log_p);
+
+}  // namespace cubist

@@ -1,0 +1,21 @@
+#include "core/refresh.h"
+
+#include "common/error.h"
+
+namespace cubist {
+
+void refresh_cube(CubeResult& cube, const SparseArray& delta, AggregateOp op,
+                  BuildStats* stats) {
+  CUBIST_CHECK(op == AggregateOp::kSum || op == AggregateOp::kCount,
+               "only additive operators (sum, count) are refreshable");
+  CUBIST_CHECK(delta.shape().extents() == cube.sizes(),
+               "delta extents must match the cube");
+  // One aggregation-tree pass over the delta: far cheaper than a rebuild
+  // whenever |delta| << |input|.
+  const CubeResult delta_cube = build_cube_sequential(delta, stats, op);
+  for (DimSet view : cube.stored_views()) {
+    cube.mutable_view(view).accumulate(delta_cube.view(view));
+  }
+}
+
+}  // namespace cubist

@@ -1,0 +1,25 @@
+// Incremental cube maintenance (warehouse refresh).
+//
+// New facts arrive as a sparse delta array over the same dimensions;
+// instead of rebuilding the cube, build the (much smaller) cube of the
+// delta with the same aggregation-tree pass and merge it view by view.
+// Valid for the additive operators (SUM, COUNT), whose identity is the 0
+// that finalized views store for empty cells; MIN/MAX cubes are not
+// refreshable this way (their stored 0 is a placeholder, not an
+// identity) and are rejected.
+#pragma once
+
+#include "array/sparse_array.h"
+#include "core/cube_result.h"
+#include "core/sequential_builder.h"
+
+namespace cubist {
+
+/// Merges the cube of `delta` into `cube` in place. Every view stored in
+/// `cube` is updated; `delta` must have the cube's extents. Negative
+/// delta values retract facts (SUM only, by their semantics).
+void refresh_cube(CubeResult& cube, const SparseArray& delta,
+                  AggregateOp op = AggregateOp::kSum,
+                  BuildStats* stats = nullptr);
+
+}  // namespace cubist

@@ -1,0 +1,36 @@
+// Reference cube construction and cube comparison, for correctness tests.
+//
+// The reference path is deliberately independent of the aggregation tree:
+// every view is projected directly from the root in its own scan. Slow,
+// but there is no shared logic with the builders it validates.
+#pragma once
+
+#include <string>
+
+#include "array/dense_array.h"
+#include "array/sparse_array.h"
+#include "core/cube_result.h"
+
+namespace cubist {
+
+/// Computes every proper view directly from the dense root.
+CubeResult reference_cube(const DenseArray& root);
+
+/// Computes every proper view directly from the sparse root.
+CubeResult reference_cube(const SparseArray& root);
+
+/// Exact comparison of two cubes over the views stored in `expected`.
+/// Returns an empty string on success, else a description of the first
+/// mismatch (values are integer-exact by construction, so equality is
+/// meaningful).
+std::string compare_cubes(const CubeResult& expected,
+                          const CubeResult& actual);
+
+/// Internal-consistency check of a SUM cube: every stored view must equal
+/// each of its stored lattice parents aggregated along the extra
+/// dimension (drill-down/roll-up consistency). Returns an empty string on
+/// success, else the first violated edge. Useful for downstream users
+/// validating cubes loaded from disk or assembled from other systems.
+std::string validate_cube_consistency(const CubeResult& cube);
+
+}  // namespace cubist

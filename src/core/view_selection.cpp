@@ -1,0 +1,180 @@
+#include "core/view_selection.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cubist {
+namespace {
+
+/// Current answering cost of every view given the materialized set,
+/// indexed by view mask. Updating this vector incrementally keeps the
+/// greedy at O(k * 4^n) instead of O(k * 8^n).
+std::vector<std::int64_t> cost_table(const CubeLattice& lattice,
+                                     const std::vector<DimSet>& materialized) {
+  const std::int64_t root_cells = lattice.view_cells(
+      DimSet::full(lattice.ndims()));
+  std::vector<std::int64_t> costs(
+      static_cast<std::size_t>(lattice.num_views()), root_cells);
+  for (DimSet m : materialized) {
+    const std::int64_t cells = lattice.view_cells(m);
+    for (std::uint32_t mask = 0;
+         mask < static_cast<std::uint32_t>(lattice.num_views()); ++mask) {
+      if (DimSet::from_mask(mask).is_subset_of(m)) {
+        costs[mask] = std::min(costs[mask], cells);
+      }
+    }
+  }
+  return costs;
+}
+
+/// Benefit of adding `candidate` on top of the current cost table.
+std::int64_t benefit_of(const CubeLattice& lattice,
+                        const std::vector<std::int64_t>& costs,
+                        DimSet candidate) {
+  const std::int64_t cells = lattice.view_cells(candidate);
+  std::int64_t benefit = 0;
+  for (std::uint32_t mask = 0;
+       mask < static_cast<std::uint32_t>(lattice.num_views()); ++mask) {
+    if (DimSet::from_mask(mask).is_subset_of(candidate) &&
+        costs[mask] > cells) {
+      benefit += costs[mask] - cells;
+    }
+  }
+  return benefit;
+}
+
+}  // namespace
+
+std::int64_t query_cost(const CubeLattice& lattice,
+                        const std::vector<DimSet>& materialized,
+                        DimSet query) {
+  CUBIST_CHECK(query.is_subset_of(DimSet::full(lattice.ndims())),
+               "query out of lattice");
+  std::int64_t best = lattice.view_cells(DimSet::full(lattice.ndims()));
+  for (DimSet m : materialized) {
+    if (query.is_subset_of(m)) {
+      best = std::min(best, lattice.view_cells(m));
+    }
+  }
+  return best;
+}
+
+std::int64_t total_query_cost(const CubeLattice& lattice,
+                              const std::vector<DimSet>& materialized) {
+  const std::vector<std::int64_t> costs = cost_table(lattice, materialized);
+  std::int64_t total = 0;
+  for (std::int64_t cost : costs) {
+    total += cost;
+  }
+  return total;
+}
+
+ViewSelection select_views_greedy(const CubeLattice& lattice, int k) {
+  CUBIST_CHECK(k >= 0 && k < lattice.num_views(),
+               "can select between 0 and 2^n - 1 proper views");
+  const DimSet root = DimSet::full(lattice.ndims());
+  ViewSelection selection;
+  std::vector<std::int64_t> costs = cost_table(lattice, {});
+  for (int round = 0; round < k; ++round) {
+    DimSet best;
+    std::int64_t best_benefit = -1;
+    bool found = false;
+    for (std::uint32_t mask = 0;
+         mask < static_cast<std::uint32_t>(lattice.num_views()); ++mask) {
+      const DimSet candidate = DimSet::from_mask(mask);
+      if (candidate == root) continue;
+      if (std::find(selection.views.begin(), selection.views.end(),
+                    candidate) != selection.views.end()) {
+        continue;
+      }
+      const std::int64_t benefit = benefit_of(lattice, costs, candidate);
+      // Ties break toward the smaller view (less storage for the same
+      // benefit), then the lower mask for determinism.
+      if (benefit > best_benefit ||
+          (benefit == best_benefit && found &&
+           lattice.view_cells(candidate) < lattice.view_cells(best))) {
+        best_benefit = benefit;
+        best = candidate;
+        found = true;
+      }
+    }
+    CUBIST_ASSERT(found, "no candidate view left");
+    selection.views.push_back(best);
+    selection.steps.push_back({best, best_benefit});
+    // Update the cost table with the new view.
+    const std::int64_t cells = lattice.view_cells(best);
+    for (std::uint32_t mask = 0;
+         mask < static_cast<std::uint32_t>(lattice.num_views()); ++mask) {
+      if (DimSet::from_mask(mask).is_subset_of(best)) {
+        costs[mask] = std::min(costs[mask], cells);
+      }
+    }
+  }
+  return selection;
+}
+
+ViewSelection select_views_exhaustive(const CubeLattice& lattice, int k) {
+  CUBIST_CHECK(lattice.ndims() <= 4, "exhaustive selection is exponential");
+  CUBIST_CHECK(k >= 0 && k < lattice.num_views(), "bad k");
+  const DimSet root = DimSet::full(lattice.ndims());
+  std::vector<DimSet> candidates;
+  for (std::uint32_t mask = 0;
+       mask < static_cast<std::uint32_t>(lattice.num_views()); ++mask) {
+    if (DimSet::from_mask(mask) != root) {
+      candidates.push_back(DimSet::from_mask(mask));
+    }
+  }
+  ViewSelection best;
+  std::int64_t best_cost = -1;
+  std::vector<DimSet> current;
+  // Enumerate k-subsets with an index odometer.
+  std::vector<std::size_t> pick(static_cast<std::size_t>(k));
+  const std::size_t n = candidates.size();
+  const auto evaluate = [&] {
+    current.clear();
+    for (std::size_t index : pick) {
+      current.push_back(candidates[index]);
+    }
+    const std::int64_t cost = total_query_cost(lattice, current);
+    if (best_cost < 0 || cost < best_cost) {
+      best_cost = cost;
+      best.views = current;
+    }
+  };
+  if (k == 0) {
+    evaluate();
+    return best;
+  }
+  for (std::size_t i = 0; i < pick.size(); ++i) {
+    pick[i] = i;
+  }
+  while (true) {
+    evaluate();
+    // Next k-combination.
+    int i = k - 1;
+    while (i >= 0 &&
+           pick[static_cast<std::size_t>(i)] ==
+               n - static_cast<std::size_t>(k - i)) {
+      --i;
+    }
+    if (i < 0) break;
+    ++pick[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < k; ++j) {
+      pick[static_cast<std::size_t>(j)] =
+          pick[static_cast<std::size_t>(j - 1)] + 1;
+    }
+  }
+  return best;
+}
+
+std::int64_t selection_storage_cells(const CubeLattice& lattice,
+                                     const std::vector<DimSet>& views) {
+  std::int64_t cells = 0;
+  for (DimSet view : views) {
+    cells += lattice.view_cells(view);
+  }
+  return cells;
+}
+
+}  // namespace cubist

@@ -1,0 +1,57 @@
+// Partial materialization (paper §7/§8 future work): selecting which views
+// to materialize when storing all 2^n is too expensive.
+//
+// Implements the classic greedy of Harinarayan, Rajaraman & Ullman
+// ("Implementing data cubes efficiently", SIGMOD'96 — the paper's [6])
+// under the linear cost model: answering a group-by query on view w from
+// a materialized ancestor M costs |M| cells; every view is equally likely
+// to be queried. The greedy repeatedly materializes the view with the
+// largest total benefit and is guaranteed to reach at least (1 - 1/e) of
+// the optimal benefit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dimset.h"
+#include "lattice/cube_lattice.h"
+
+namespace cubist {
+
+/// One greedy round: the view chosen and the benefit it contributed.
+struct SelectionStep {
+  DimSet view;
+  std::int64_t benefit = 0;
+};
+
+/// A set of views to materialize. The root is always implicitly
+/// materialized (it is the input) and is not listed.
+struct ViewSelection {
+  std::vector<DimSet> views;
+  std::vector<SelectionStep> steps;
+};
+
+/// Cost (cells scanned) of answering a query on `query` given the
+/// materialized set: the size of the smallest materialized superset
+/// (the root always qualifies).
+std::int64_t query_cost(const CubeLattice& lattice,
+                        const std::vector<DimSet>& materialized,
+                        DimSet query);
+
+/// Sum of query_cost over every view of the lattice (uniform workload).
+std::int64_t total_query_cost(const CubeLattice& lattice,
+                              const std::vector<DimSet>& materialized);
+
+/// HRU greedy: picks `k` views (beyond the root), each round choosing the
+/// view maximizing the total cost reduction.
+ViewSelection select_views_greedy(const CubeLattice& lattice, int k);
+
+/// Exhaustive optimum over all C(2^n - 1, k) selections — exponential,
+/// for validating the greedy on small lattices only.
+ViewSelection select_views_exhaustive(const CubeLattice& lattice, int k);
+
+/// Total storage (cells) of a selection, root excluded.
+std::int64_t selection_storage_cells(const CubeLattice& lattice,
+                                     const std::vector<DimSet>& views);
+
+}  // namespace cubist

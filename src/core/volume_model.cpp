@@ -1,0 +1,78 @@
+#include "core/volume_model.h"
+
+#include "common/error.h"
+#include "common/mathutil.h"
+
+namespace cubist {
+namespace {
+
+void check_inputs(const std::vector<std::int64_t>& sizes,
+                  const std::vector<int>& log_splits) {
+  CUBIST_CHECK(!sizes.empty() && sizes.size() == log_splits.size(),
+               "sizes/log_splits rank mismatch");
+  for (std::size_t d = 0; d < sizes.size(); ++d) {
+    CUBIST_CHECK(sizes[d] > 0, "extent must be positive");
+    CUBIST_CHECK(log_splits[d] >= 0, "negative split exponent");
+  }
+}
+
+}  // namespace
+
+std::int64_t edge_volume_elements(const std::vector<std::int64_t>& sizes,
+                                  const std::vector<int>& log_splits,
+                                  DimSet aggregated) {
+  check_inputs(sizes, log_splits);
+  const int n = static_cast<int>(sizes.size());
+  CUBIST_CHECK(!aggregated.empty() && aggregated.is_subset_of(DimSet::full(n)),
+               "aggregated set must be a non-empty subset of the dimensions");
+  const int m = aggregated.max_dim();
+  std::int64_t retained_product = 1;
+  for (int d = 0; d < n; ++d) {
+    if (!aggregated.contains(d)) retained_product *= sizes[d];
+  }
+  return (static_cast<std::int64_t>(pow2(log_splits[m])) - 1) *
+         retained_product;
+}
+
+std::map<std::uint32_t, std::int64_t> volume_by_view_elements(
+    const std::vector<std::int64_t>& sizes,
+    const std::vector<int>& log_splits) {
+  check_inputs(sizes, log_splits);
+  const int n = static_cast<int>(sizes.size());
+  std::map<std::uint32_t, std::int64_t> volumes;
+  // Every non-root view is one prefix-tree edge; its aggregated set is the
+  // complement of the view.
+  for (std::uint32_t mask = 0; mask + 1 < (std::uint32_t{1} << n); ++mask) {
+    const DimSet view = DimSet::from_mask(mask);
+    volumes[mask] =
+        edge_volume_elements(sizes, log_splits, view.complement(n));
+  }
+  return volumes;
+}
+
+std::int64_t total_volume_elements(const std::vector<std::int64_t>& sizes,
+                                   const std::vector<int>& log_splits) {
+  check_inputs(sizes, log_splits);
+  const int n = static_cast<int>(sizes.size());
+  std::int64_t total = 0;
+  for (int m = 0; m < n; ++m) {
+    total += (static_cast<std::int64_t>(pow2(log_splits[m])) - 1) *
+             dimension_weight(sizes, m);
+  }
+  return total;
+}
+
+std::int64_t dimension_weight(const std::vector<std::int64_t>& sizes, int m) {
+  const int n = static_cast<int>(sizes.size());
+  CUBIST_CHECK(m >= 0 && m < n, "dimension out of range");
+  std::int64_t weight = 1;
+  for (int j = 0; j < m; ++j) {
+    weight *= 1 + sizes[j];
+  }
+  for (int j = m + 1; j < n; ++j) {
+    weight *= sizes[j];
+  }
+  return weight;
+}
+
+}  // namespace cubist

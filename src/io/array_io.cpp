@@ -1,0 +1,174 @@
+#include "io/array_io.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+#include "common/error.h"
+
+namespace cubist {
+namespace {
+
+constexpr std::uint32_t kVersion = 1;
+
+void write_raw(std::ofstream& out, const void* data, std::size_t bytes) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  CUBIST_CHECK(out.good(), "write failed");
+}
+
+void read_raw(std::ifstream& in, void* data, std::size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  CUBIST_CHECK(in.good(), "read failed (truncated file?)");
+}
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& value) {
+  write_raw(out, &value, sizeof value);
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T value;
+  read_raw(in, &value, sizeof value);
+  return value;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  CUBIST_CHECK(out.is_open(), "cannot open for writing: " << path);
+  return out;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CUBIST_CHECK(in.is_open(), "cannot open for reading: " << path);
+  return in;
+}
+
+void write_magic(std::ofstream& out, const char magic[4]) {
+  write_raw(out, magic, 4);
+  write_pod(out, kVersion);
+}
+
+void expect_magic(std::ifstream& in, const char magic[4],
+                  const std::string& path) {
+  char found[4];
+  read_raw(in, found, 4);
+  CUBIST_CHECK(std::equal(found, found + 4, magic),
+               "bad magic in " << path);
+  const auto version = read_pod<std::uint32_t>(in);
+  CUBIST_CHECK(version == kVersion, "unsupported version " << version);
+}
+
+std::vector<std::int64_t> read_extents(std::ifstream& in) {
+  const auto ndim = read_pod<std::uint32_t>(in);
+  CUBIST_CHECK(ndim >= 1 && ndim <= 32, "bad dimension count " << ndim);
+  std::vector<std::int64_t> extents(ndim);
+  read_raw(in, extents.data(), extents.size() * sizeof(std::int64_t));
+  return extents;
+}
+
+void write_extents(std::ofstream& out,
+                   const std::vector<std::int64_t>& extents) {
+  write_pod(out, static_cast<std::uint32_t>(extents.size()));
+  write_raw(out, extents.data(), extents.size() * sizeof(std::int64_t));
+}
+
+}  // namespace
+
+void write_dense(const DenseArray& array, const std::string& path) {
+  std::ofstream out = open_out(path);
+  write_magic(out, "CBDN");
+  write_extents(out, array.shape().extents());
+  write_raw(out, array.data(),
+            static_cast<std::size_t>(array.size()) * sizeof(Value));
+}
+
+DenseArray read_dense(const std::string& path) {
+  std::ifstream in = open_in(path);
+  expect_magic(in, "CBDN", path);
+  DenseArray array{Shape{read_extents(in)}};
+  read_raw(in, array.data(),
+           static_cast<std::size_t>(array.size()) * sizeof(Value));
+  return array;
+}
+
+void write_sparse(const SparseArray& array, const std::string& path) {
+  std::ofstream out = open_out(path);
+  write_magic(out, "CBSP");
+  write_extents(out, array.shape().extents());
+  write_raw(out, array.chunk_extents().data(),
+            array.chunk_extents().size() * sizeof(std::int64_t));
+  for (std::int64_t c = 0; c < array.num_chunks(); ++c) {
+    const auto offsets = array.chunk_offsets(c);
+    const auto values = array.chunk_values(c);
+    write_pod(out, static_cast<std::int64_t>(offsets.size()));
+    write_raw(out, offsets.data(),
+              offsets.size() * sizeof(SparseArray::Offset));
+    write_raw(out, values.data(), values.size() * sizeof(Value));
+  }
+}
+
+SparseArray read_sparse(const std::string& path) {
+  std::ifstream in = open_in(path);
+  expect_magic(in, "CBSP", path);
+  const std::vector<std::int64_t> extents = read_extents(in);
+  std::vector<std::int64_t> chunk_extents(extents.size());
+  read_raw(in, chunk_extents.data(),
+           chunk_extents.size() * sizeof(std::int64_t));
+  SparseArray array{Shape{extents}, chunk_extents};
+
+  // Re-inject non-zeros chunk by chunk through the public push() so every
+  // invariant is revalidated on load.
+  const int n = array.ndim();
+  std::vector<std::int64_t> chunk_coords(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> index(static_cast<std::size_t>(n));
+  for (std::int64_t c = 0; c < array.num_chunks(); ++c) {
+    const auto count = read_pod<std::int64_t>(in);
+    CUBIST_CHECK(count >= 0, "negative chunk count");
+    std::vector<SparseArray::Offset> offsets(
+        static_cast<std::size_t>(count));
+    std::vector<Value> values(static_cast<std::size_t>(count));
+    read_raw(in, offsets.data(), offsets.size() * sizeof(SparseArray::Offset));
+    read_raw(in, values.data(), values.size() * sizeof(Value));
+    array.chunk_grid().unravel(c, chunk_coords.data());
+    const auto base = array.chunk_base(chunk_coords);
+    const Shape local_shape{array.chunk_shape_at(chunk_coords)};
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+      CUBIST_CHECK(static_cast<std::int64_t>(offsets[i]) < local_shape.size(),
+                   "offset out of chunk bounds");
+      local_shape.unravel(static_cast<std::int64_t>(offsets[i]), index.data());
+      for (int d = 0; d < n; ++d) {
+        index[d] += base[d];
+      }
+      array.push(index.data(), values[i]);
+    }
+  }
+  array.finalize();
+  return array;
+}
+
+void write_view_csv(const DenseArray& view,
+                    const std::vector<std::string>& header,
+                    const std::string& path) {
+  CUBIST_CHECK(static_cast<int>(header.size()) == view.ndim(),
+               "header column count must match view rank");
+  std::ofstream out(path, std::ios::trunc);
+  CUBIST_CHECK(out.is_open(), "cannot open for writing: " << path);
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    out << header[c] << ',';
+  }
+  out << "value\n";
+  std::vector<std::int64_t> index(static_cast<std::size_t>(view.ndim()), 0);
+  for (std::int64_t linear = 0; linear < view.size(); ++linear) {
+    view.shape().unravel(linear, index.data());
+    for (int d = 0; d < view.ndim(); ++d) {
+      out << index[d] << ',';
+    }
+    out << view[linear] << '\n';
+  }
+  CUBIST_CHECK(out.good(), "write failed");
+}
+
+}  // namespace cubist

@@ -1,0 +1,57 @@
+// Synthetic dataset generators (DESIGN.md §2: substitution for the paper's
+// datasets, which are characterized only by shape and sparsity level).
+//
+// All generators are *partition-invariant*: whether a cell is populated and
+// its value depend only on (seed, global cell index) through a stateless
+// hash, so every processor grid slicing of the same spec sees the same
+// global array — the parallel results can be compared bit-exactly against
+// the sequential cube. Values are small integers (1..9) stored as doubles;
+// double sums of small integers are exact and order-independent.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "array/block.h"
+#include "array/dense_array.h"
+#include "array/sparse_array.h"
+
+namespace cubist {
+
+/// Specification of a uniform hash-sparse dataset.
+struct SparseSpec {
+  std::vector<std::int64_t> sizes;
+  /// Fraction of cells that are non-zero — the paper's "sparsity level"
+  /// knob (their 25%, 10%, 5%).
+  double density = 0.25;
+  std::uint64_t seed = 1;
+  /// Chunk extents of the chunk-offset format; empty = default_chunks().
+  std::vector<std::int64_t> chunk_extents;
+  /// Zipf skew of the non-zero distribution per dimension; 0 = uniform.
+  /// With theta > 0, low coordinates are denser (clustered data), still
+  /// partition-invariant and with expected density ~= `density`.
+  double zipf_theta = 0.0;
+};
+
+/// 16 cells per dimension, clipped to the extent — a paper-era chunk size.
+std::vector<std::int64_t> default_chunks(
+    const std::vector<std::int64_t>& sizes);
+
+/// The whole array, in global coordinates.
+SparseArray generate_sparse_global(const SparseSpec& spec);
+
+/// One processor's block, in local coordinates (extents = block.extents()).
+SparseArray generate_sparse_block(const SparseSpec& spec,
+                                  const BlockRange& block);
+
+/// Dense random array with values 0..9 (0 with probability 1 - density).
+DenseArray generate_dense(const std::vector<std::int64_t>& sizes,
+                          double density, std::uint64_t seed);
+
+/// Extracts a rectangular block of `global` into a block-local sparse
+/// array (used for slicing a generated global array across ranks and for
+/// the tiling extension).
+SparseArray extract_block(const SparseArray& global, const BlockRange& block,
+                          std::vector<std::int64_t> chunk_extents);
+
+}  // namespace cubist

@@ -1,0 +1,72 @@
+#include "lattice/aggregation_tree.h"
+
+#include "common/error.h"
+
+namespace cubist {
+
+AggregationTree::AggregationTree(int n) : n_(n) {
+  CUBIST_CHECK(n >= 1 && n <= kMaxDims, "dimension count out of range");
+}
+
+std::vector<DimSet> AggregationTree::children(DimSet view) const {
+  CUBIST_CHECK(view.is_subset_of(root()), "view out of lattice");
+  const DimSet removed = view.complement(n_);
+  // A child drops one more position, which must exceed every position
+  // already dropped (prefix-tree children only append larger elements).
+  const int first = removed.empty() ? 0 : removed.max_dim() + 1;
+  std::vector<DimSet> out;
+  for (int j = first; j < n_; ++j) {
+    CUBIST_DCHECK(view.contains(j), "positions above max(~V) are in V");
+    out.push_back(view.without(j));
+  }
+  return out;
+}
+
+DimSet AggregationTree::parent(DimSet view) const {
+  return view.with(aggregated_dim(view));
+}
+
+int AggregationTree::aggregated_dim(DimSet view) const {
+  CUBIST_CHECK(view != root(), "root has no parent");
+  CUBIST_CHECK(view.is_subset_of(root()), "view out of lattice");
+  return view.complement(n_).max_dim();
+}
+
+void AggregationTree::evaluate(DimSet view,
+                               std::vector<ScheduleEvent>& out) const {
+  const std::vector<DimSet> kids = children(view);
+  if (!kids.empty()) {
+    out.push_back({ScheduleEvent::Kind::kComputeChildren, view});
+  }
+  // Right to left: the right-most child is the one whose subtree is
+  // evaluated first (paper Figure 3); this ordering is what makes the
+  // Theorem-1 memory bound hold.
+  for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+    if (is_leaf(*it)) {
+      out.push_back({ScheduleEvent::Kind::kWriteBack, *it});
+    } else {
+      evaluate(*it, out);
+    }
+  }
+  if (view != root()) {
+    out.push_back({ScheduleEvent::Kind::kWriteBack, view});
+  }
+}
+
+std::vector<ScheduleEvent> AggregationTree::schedule() const {
+  std::vector<ScheduleEvent> out;
+  evaluate(root(), out);
+  return out;
+}
+
+std::vector<DimSet> AggregationTree::completion_order() const {
+  std::vector<DimSet> order;
+  for (const ScheduleEvent& event : schedule()) {
+    if (event.kind == ScheduleEvent::Kind::kWriteBack) {
+      order.push_back(event.view);
+    }
+  }
+  return order;
+}
+
+}  // namespace cubist

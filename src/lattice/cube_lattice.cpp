@@ -1,0 +1,77 @@
+#include "lattice/cube_lattice.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/mathutil.h"
+
+namespace cubist {
+
+CubeLattice::CubeLattice(std::vector<std::int64_t> sizes)
+    : n_(static_cast<int>(sizes.size())), sizes_(std::move(sizes)) {
+  CUBIST_CHECK(n_ >= 1 && n_ <= kMaxDims, "dimension count out of range");
+  checked_product(sizes_);  // validates positivity and overflow
+}
+
+std::vector<DimSet> CubeLattice::all_views() const {
+  std::vector<DimSet> views;
+  views.reserve(static_cast<std::size_t>(num_views()));
+  for (std::uint32_t mask = 0;
+       mask < static_cast<std::uint32_t>(num_views()); ++mask) {
+    views.push_back(DimSet::from_mask(mask));
+  }
+  std::sort(views.begin(), views.end(), [](DimSet a, DimSet b) {
+    if (a.size() != b.size()) return a.size() > b.size();
+    return a.mask() < b.mask();
+  });
+  return views;
+}
+
+std::int64_t CubeLattice::view_cells(DimSet view) const {
+  CUBIST_CHECK(view.is_subset_of(DimSet::full(n_)), "view out of lattice");
+  std::int64_t cells = 1;
+  for (int d : view.dims()) {
+    cells *= sizes_[d];
+  }
+  return cells;
+}
+
+std::vector<DimSet> CubeLattice::parents(DimSet view) const {
+  std::vector<DimSet> out;
+  for (int d = 0; d < n_; ++d) {
+    if (!view.contains(d)) out.push_back(view.with(d));
+  }
+  return out;
+}
+
+std::vector<DimSet> CubeLattice::children(DimSet view) const {
+  std::vector<DimSet> out;
+  for (int d : view.dims()) {
+    out.push_back(view.without(d));
+  }
+  return out;
+}
+
+DimSet CubeLattice::minimal_parent(DimSet view) const {
+  CUBIST_CHECK(view != DimSet::full(n_), "root has no parent");
+  int best_dim = -1;
+  for (int d = 0; d < n_; ++d) {
+    if (view.contains(d)) continue;
+    // Strict < keeps the largest index on ties because we scan ascending
+    // and replace on <=; we instead scan and prefer later dims on equal
+    // size, matching the aggregation tree's choice of max-index dims.
+    if (best_dim == -1 || sizes_[d] <= sizes_[best_dim]) {
+      best_dim = d;
+    }
+  }
+  return view.with(best_dim);
+}
+
+std::int64_t CubeLattice::compute_cost(DimSet view, DimSet parent) const {
+  CUBIST_CHECK(view.is_subset_of(parent) &&
+                   parent.size() == view.size() + 1,
+               "parent must be an immediate superset");
+  return view_cells(parent);
+}
+
+}  // namespace cubist

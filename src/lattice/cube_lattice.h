@@ -1,0 +1,57 @@
+// The data cube lattice (paper §2, Figure 1).
+//
+// Nodes are all 2^n subsets of the dimension set; an edge connects V to
+// every immediate superset V ∪ {d}. Data cube construction materializes one
+// aggregate array per node; a construction algorithm picks a spanning tree
+// of this lattice (each view computed from one parent by aggregating away a
+// single dimension).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dimset.h"
+
+namespace cubist {
+
+class CubeLattice {
+ public:
+  /// Lattice over `sizes.size()` dimensions, where `sizes[d]` is the extent
+  /// of dimension d.
+  explicit CubeLattice(std::vector<std::int64_t> sizes);
+
+  int ndims() const { return n_; }
+  const std::vector<std::int64_t>& sizes() const { return sizes_; }
+  std::int64_t size_of_dim(int d) const { return sizes_[d]; }
+
+  /// Number of lattice nodes (2^n), i.e. the number of views in the cube.
+  std::int64_t num_views() const { return std::int64_t{1} << n_; }
+
+  /// Every view, ordered by descending dimensionality then mask (root
+  /// first, the `all` scalar last).
+  std::vector<DimSet> all_views() const;
+
+  /// Number of cells of a view (product of retained extents; 1 for `all`).
+  std::int64_t view_cells(DimSet view) const;
+
+  /// Immediate supersets of `view` — its candidate parents.
+  std::vector<DimSet> parents(DimSet view) const;
+
+  /// Immediate subsets of `view` — the views computable from it.
+  std::vector<DimSet> children(DimSet view) const;
+
+  /// The minimal parent (paper §2): the candidate parent with the fewest
+  /// cells, i.e. V ∪ {d*} where d* minimizes D_d over d ∉ V. Ties break
+  /// toward the largest dimension index (the aggregation-tree convention).
+  /// Precondition: view != root.
+  DimSet minimal_parent(DimSet view) const;
+
+  /// Cost (cells scanned) of computing `view` from `parent`, = |parent|.
+  std::int64_t compute_cost(DimSet view, DimSet parent) const;
+
+ private:
+  int n_;
+  std::vector<std::int64_t> sizes_;
+};
+
+}  // namespace cubist

@@ -1,0 +1,59 @@
+#include "lattice/memory_sim.h"
+
+#include "common/error.h"
+#include "common/mathutil.h"
+
+namespace cubist {
+
+MemorySimResult simulate_aggregation_schedule(
+    const CubeLattice& lattice, const AggregationTree& tree,
+    std::span<const ScheduleEvent> schedule, std::int64_t bytes_per_cell) {
+  CUBIST_CHECK(lattice.ndims() == tree.ndims(), "dimension count mismatch");
+  MemoryLedger ledger;
+  MemorySimResult result;
+  for (const ScheduleEvent& event : schedule) {
+    switch (event.kind) {
+      case ScheduleEvent::Kind::kComputeChildren:
+        for (DimSet child : tree.children(event.view)) {
+          ledger.alloc(lattice.view_cells(child) * bytes_per_cell);
+        }
+        break;
+      case ScheduleEvent::Kind::kWriteBack: {
+        const std::int64_t bytes =
+            lattice.view_cells(event.view) * bytes_per_cell;
+        ledger.release(bytes);
+        result.written_bytes += bytes;
+        break;
+      }
+    }
+  }
+  CUBIST_ASSERT(ledger.live_bytes() == 0,
+                "schedule leaks " << ledger.live_bytes() << " bytes");
+  result.peak_bytes = ledger.peak_bytes();
+  return result;
+}
+
+std::int64_t sequential_memory_bound(const CubeLattice& lattice,
+                                     std::int64_t bytes_per_cell) {
+  std::int64_t cells = 0;
+  for (int i = 0; i < lattice.ndims(); ++i) {
+    cells += product_excluding(lattice.sizes(), i);
+  }
+  return cells * bytes_per_cell;
+}
+
+std::int64_t parallel_memory_bound(const CubeLattice& lattice,
+                                   const std::vector<int>& log_splits,
+                                   std::int64_t bytes_per_cell) {
+  CUBIST_CHECK(static_cast<int>(log_splits.size()) == lattice.ndims(),
+               "split rank mismatch");
+  std::vector<std::int64_t> local(lattice.sizes());
+  for (int d = 0; d < lattice.ndims(); ++d) {
+    CUBIST_CHECK(log_splits[d] >= 0, "negative split exponent");
+    local[d] = ceil_div(local[d], static_cast<std::int64_t>(pow2(log_splits[d])));
+  }
+  CubeLattice local_lattice(local);
+  return sequential_memory_bound(local_lattice, bytes_per_cell);
+}
+
+}  // namespace cubist

@@ -1,0 +1,64 @@
+// Live-memory accounting and schedule simulation (paper Theorems 1/2/4/5).
+//
+// `MemoryLedger` is the shared accounting primitive: builders feed it real
+// allocations and write-backs; `simulate_aggregation_schedule` replays a
+// Figure-3 schedule symbolically (no data), so planners can predict the
+// peak before allocating anything.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/dimset.h"
+#include "lattice/aggregation_tree.h"
+#include "lattice/cube_lattice.h"
+
+namespace cubist {
+
+/// Tracks currently-live bytes and their high-water mark.
+class MemoryLedger {
+ public:
+  void alloc(std::int64_t bytes) {
+    live_ += bytes;
+    if (live_ > peak_) peak_ = live_;
+  }
+  void release(std::int64_t bytes) { live_ -= bytes; }
+
+  std::int64_t live_bytes() const { return live_; }
+  std::int64_t peak_bytes() const { return peak_; }
+
+ private:
+  std::int64_t live_ = 0;
+  std::int64_t peak_ = 0;
+};
+
+/// Result of a symbolic schedule replay.
+struct MemorySimResult {
+  /// Peak bytes of live computed views (the root input is NOT counted,
+  /// matching the theorems' "results" accounting).
+  std::int64_t peak_bytes = 0;
+  /// Total bytes written back (every non-root view exactly once).
+  std::int64_t written_bytes = 0;
+};
+
+/// Replays a Figure-3 style schedule: kComputeChildren(view) allocates all
+/// of `view`'s aggregation-tree children; kWriteBack(view) releases it.
+/// `bytes_per_cell` is sizeof(Value) for real arrays.
+MemorySimResult simulate_aggregation_schedule(
+    const CubeLattice& lattice, const AggregationTree& tree,
+    std::span<const ScheduleEvent> schedule, std::int64_t bytes_per_cell);
+
+/// Theorem 1 / Theorem 2: the tight bound on live result memory,
+///   sum_i prod_{j != i} D_j cells,
+/// i.e. the sum of the sizes of the root's n children. Returned in bytes.
+std::int64_t sequential_memory_bound(const CubeLattice& lattice,
+                                     std::int64_t bytes_per_cell);
+
+/// Theorem 4 / Theorem 5: the per-processor bound when dimension j is
+/// split 2^{k_j} ways: sum_i prod_{j != i} ceil(D_j / 2^{k_j}) in bytes.
+std::int64_t parallel_memory_bound(const CubeLattice& lattice,
+                                   const std::vector<int>& log_splits,
+                                   std::int64_t bytes_per_cell);
+
+}  // namespace cubist

@@ -1,0 +1,46 @@
+#include "lattice/prefix_tree.h"
+
+#include "common/error.h"
+
+namespace cubist {
+
+PrefixTree::PrefixTree(int n) : n_(n) {
+  CUBIST_CHECK(n >= 1 && n <= kMaxDims, "dimension count out of range");
+}
+
+std::vector<DimSet> PrefixTree::children(DimSet node) const {
+  CUBIST_CHECK(node.is_subset_of(DimSet::full(n_)), "node out of lattice");
+  std::vector<DimSet> out;
+  const int first = node.empty() ? 0 : node.max_dim() + 1;
+  for (int j = first; j < n_; ++j) {
+    out.push_back(node.with(j));
+  }
+  return out;
+}
+
+DimSet PrefixTree::parent(DimSet node) const {
+  CUBIST_CHECK(!node.empty(), "root has no parent");
+  CUBIST_CHECK(node.is_subset_of(DimSet::full(n_)), "node out of lattice");
+  return node.without(node.max_dim());
+}
+
+int PrefixTree::added_element(DimSet node) const {
+  CUBIST_CHECK(!node.empty(), "root was not created by adding an element");
+  return node.max_dim();
+}
+
+void PrefixTree::visit(DimSet node, std::vector<DimSet>& out) const {
+  out.push_back(node);
+  for (DimSet child : children(node)) {
+    visit(child, out);
+  }
+}
+
+std::vector<DimSet> PrefixTree::preorder() const {
+  std::vector<DimSet> out;
+  out.reserve(std::size_t{1} << n_);
+  visit(root(), out);
+  return out;
+}
+
+}  // namespace cubist

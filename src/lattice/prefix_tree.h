@@ -1,0 +1,47 @@
+// Prefix tree over the dimension set (paper Definition 2).
+//
+// A spanning tree of the *prefix lattice* (the complement of the cube
+// lattice). The empty set is the root; a node X with maximum element m has
+// children X ∪ {j} for j = m+1, .., n-1, ordered left to right by ascending
+// j (the root, with no maximum, has all n singletons as children).
+//
+// Complementing every node yields the aggregation tree (Definition 3), so
+// this structure fixes both the spanning tree used for cube construction
+// and the left-to-right child order that the memory bound depends on.
+#pragma once
+
+#include <vector>
+
+#include "common/dimset.h"
+
+namespace cubist {
+
+class PrefixTree {
+ public:
+  explicit PrefixTree(int n);
+
+  int ndims() const { return n_; }
+  DimSet root() const { return DimSet{}; }
+
+  /// Children of `node`, left to right.
+  std::vector<DimSet> children(DimSet node) const;
+
+  /// Parent of `node` (removes the maximum element).
+  /// Precondition: node is not the root.
+  DimSet parent(DimSet node) const;
+
+  /// The element whose addition created `node`, i.e. its maximum.
+  int added_element(DimSet node) const;
+
+  /// All 2^n nodes in depth-first pre-order (root first, children
+  /// left-to-right). A spanning tree property test: visits every subset
+  /// exactly once.
+  std::vector<DimSet> preorder() const;
+
+ private:
+  void visit(DimSet node, std::vector<DimSet>& out) const;
+
+  int n_;
+};
+
+}  // namespace cubist

@@ -1,0 +1,157 @@
+#include "minimpi/comm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "minimpi/runtime_state.h"
+
+namespace cubist {
+
+Comm::Comm(RuntimeState& state, int rank) : state_(state), rank_(rank) {}
+
+int Comm::size() const { return state_.size(); }
+
+const CostModel& Comm::model() const { return state_.model(); }
+
+void Comm::charge_compute(std::int64_t cells_scanned, std::int64_t updates) {
+  clock_ += state_.model().seconds_for_scan(static_cast<double>(cells_scanned));
+  clock_ += state_.model().seconds_for_updates(static_cast<double>(updates));
+}
+
+void Comm::send_bytes(int dst, std::uint64_t tag,
+                      std::span<const std::byte> data) {
+  CUBIST_CHECK(dst >= 0 && dst < size(), "bad destination rank " << dst);
+  CUBIST_CHECK(dst != rank_, "self-send is not supported");
+  const auto bytes = static_cast<std::int64_t>(data.size());
+  // Sender is occupied for the per-message overhead plus the injection;
+  // the receiver may consume the message one wire latency later.
+  clock_ += state_.model().overhead +
+            state_.model().transfer_seconds(static_cast<double>(bytes));
+  Message message;
+  message.payload.assign(data.begin(), data.end());
+  message.arrival_time = clock_ + state_.model().latency;
+  state_.ledger().record(tag, bytes);
+  state_.mailbox(dst).deliver(rank_, tag, std::move(message));
+}
+
+std::vector<std::byte> Comm::recv_bytes(int src, std::uint64_t tag) {
+  CUBIST_CHECK(src >= 0 && src < size(), "bad source rank " << src);
+  CUBIST_CHECK(src != rank_, "self-receive is not supported");
+  Message message = state_.mailbox(rank_).receive(src, tag);
+  clock_ = std::max(clock_, message.arrival_time);
+  return std::move(message.payload);
+}
+
+void Comm::send_values(int dst, std::uint64_t tag,
+                       std::span<const Value> data) {
+  send_bytes(dst, tag, std::as_bytes(data));
+}
+
+std::vector<Value> Comm::recv_values(int src, std::uint64_t tag) {
+  const std::vector<std::byte> raw = recv_bytes(src, tag);
+  CUBIST_ASSERT(raw.size() % sizeof(Value) == 0, "payload not Value-aligned");
+  std::vector<Value> values(raw.size() / sizeof(Value));
+  std::memcpy(values.data(), raw.data(), raw.size());
+  return values;
+}
+
+void Comm::reduce(std::span<const int> group, DenseArray& data,
+                  std::uint64_t tag, AggregateOp op,
+                  std::int64_t max_message_elements) {
+  const int g = static_cast<int>(group.size());
+  CUBIST_CHECK(g >= 1, "empty reduction group");
+  CUBIST_CHECK(max_message_elements >= 0, "negative message cap");
+  int me = -1;
+  for (int i = 0; i < g; ++i) {
+    if (group[i] == rank_) me = i;
+  }
+  CUBIST_CHECK(me >= 0, "rank " << rank_ << " not in reduction group");
+
+  const std::int64_t total = data.size();
+  const std::int64_t piece =
+      max_message_elements == 0 ? total : max_message_elements;
+
+  // Binomial tree toward group[0]: in round `step`, members with the bit
+  // set ship their partial to the member `step` below and drop out.
+  for (int step = 1; step < g; step <<= 1) {
+    if ((me & step) != 0) {
+      for (std::int64_t offset = 0; offset < total; offset += piece) {
+        const auto count = static_cast<std::size_t>(
+            std::min(piece, total - offset));
+        send_values(group[me - step], tag,
+                    std::span<const Value>(data.data() + offset, count));
+      }
+      return;
+    }
+    if (me + step < g) {
+      Value* dst = data.data();
+      for (std::int64_t offset = 0; offset < total; offset += piece) {
+        const std::vector<Value> partial =
+            recv_values(group[me + step], tag);
+        CUBIST_ASSERT(static_cast<std::int64_t>(partial.size()) ==
+                          std::min(piece, total - offset),
+                      "reduction payload size mismatch");
+        // Charge the combine to the receiver's clock: one op per element.
+        charge_compute(0, static_cast<std::int64_t>(partial.size()));
+        for (std::size_t i = 0; i < partial.size(); ++i) {
+          combine(op, dst[offset + static_cast<std::int64_t>(i)], partial[i]);
+        }
+      }
+    }
+  }
+}
+
+void Comm::reduce_sum(std::span<const int> group, DenseArray& data,
+                      std::uint64_t tag) {
+  reduce(group, data, tag, AggregateOp::kSum);
+}
+
+void Comm::bcast(std::span<const int> group, std::vector<std::byte>& data,
+                 std::uint64_t tag) {
+  const int g = static_cast<int>(group.size());
+  CUBIST_CHECK(g >= 1, "empty broadcast group");
+  int me = -1;
+  for (int i = 0; i < g; ++i) {
+    if (group[i] == rank_) me = i;
+  }
+  CUBIST_CHECK(me >= 0, "rank " << rank_ << " not in broadcast group");
+
+  // Binomial tree from group[0], rounds with doubling step: in round
+  // `step`, every member me < step forwards to me + step. A member's
+  // receive round (step = most significant bit of me) precedes all of its
+  // send rounds, so receive first, then forward with increasing steps.
+  int msb = 0;
+  for (int step = 1; step <= me; step <<= 1) {
+    msb = step;
+  }
+  if (me != 0) {
+    data = recv_bytes(group[me - msb], tag);
+  }
+  for (int step = (me == 0) ? 1 : (msb << 1); step < g; step <<= 1) {
+    if (me + step < g) {
+      send_bytes(group[me + step], tag, data);
+    }
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::gather_bytes(
+    int root, std::uint64_t tag, std::span<const std::byte> payload) {
+  if (rank_ != root) {
+    send_bytes(root, tag, payload);
+    return {};
+  }
+  std::vector<std::vector<std::byte>> gathered(
+      static_cast<std::size_t>(size()));
+  gathered[static_cast<std::size_t>(root)].assign(payload.begin(),
+                                                  payload.end());
+  for (int src = 0; src < size(); ++src) {
+    if (src == root) continue;
+    gathered[static_cast<std::size_t>(src)] = recv_bytes(src, tag);
+  }
+  return gathered;
+}
+
+void Comm::barrier() { clock_ = state_.barrier(clock_); }
+
+}  // namespace cubist

@@ -1,0 +1,85 @@
+// Comm: the per-rank communication endpoint of the minimpi runtime.
+//
+// A deliberately MPI-shaped API (blocking matched send/recv, binomial
+// collectives) so the parallel cube builder reads like the MPI program the
+// paper's authors ran, while every byte is counted (VolumeLedger) and a
+// LogP-style virtual clock tracks simulated parallel time (CostModel).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "array/aggregate_op.h"
+#include "array/dense_array.h"
+#include "minimpi/cost_model.h"
+
+namespace cubist {
+
+class RuntimeState;
+
+class Comm {
+ public:
+  Comm(RuntimeState& state, int rank);
+
+  int rank() const { return rank_; }
+  int size() const;
+  const CostModel& model() const;
+
+  // --- virtual clock ---
+
+  double clock() const { return clock_; }
+  void advance_clock(double seconds) { clock_ += seconds; }
+  /// Charges `updates` aggregation updates and `cells` scan decodes to the
+  /// virtual clock using the run's cost model.
+  void charge_compute(std::int64_t cells_scanned, std::int64_t updates);
+
+  // --- point to point ---
+
+  /// Blocking send. The tag identifies the logical stream (the cube
+  /// builder uses the target view's dimension mask) and keys the ledger.
+  void send_bytes(int dst, std::uint64_t tag, std::span<const std::byte> data);
+  /// Blocking receive, matched by (src, tag), FIFO within a match.
+  std::vector<std::byte> recv_bytes(int src, std::uint64_t tag);
+
+  void send_values(int dst, std::uint64_t tag, std::span<const Value> data);
+  std::vector<Value> recv_values(int src, std::uint64_t tag);
+
+  // --- collectives (implemented over send/recv, so volume is counted) ---
+
+  /// Binomial-tree reduction of `data` over `group` (a list of ranks
+  /// containing this rank; group.size() need not be a power of two).
+  /// On return, group[0] holds the elementwise combination under `op`;
+  /// other members' arrays hold partials and should be considered
+  /// consumed. `max_message_elements` caps each message's payload (0 =
+  /// whole block per message): smaller caps trade more messages (latency)
+  /// for finer pipelining — the communication-frequency knob studied in
+  /// the authors' companion work.
+  void reduce(std::span<const int> group, DenseArray& data, std::uint64_t tag,
+              AggregateOp op, std::int64_t max_message_elements = 0);
+
+  /// reduce() specialized to SUM, whole-block messages.
+  void reduce_sum(std::span<const int> group, DenseArray& data,
+                  std::uint64_t tag);
+
+  /// Binomial broadcast of `data` from group[0] to all of `group`.
+  void bcast(std::span<const int> group, std::vector<std::byte>& data,
+             std::uint64_t tag);
+
+  /// Gathers each rank's payload at `root` (returns empty elsewhere).
+  /// Must be called by every rank in the runtime.
+  std::vector<std::vector<std::byte>> gather_bytes(
+      int root, std::uint64_t tag, std::span<const std::byte> payload);
+
+  /// Global barrier; also synchronizes virtual clocks to the max plus a
+  /// log2(p) latency term.
+  void barrier();
+
+ private:
+  RuntimeState& state_;
+  int rank_;
+  double clock_ = 0.0;
+};
+
+}  // namespace cubist

@@ -1,0 +1,38 @@
+// Cost model for the virtual clock (DESIGN.md §2, "substitutions").
+//
+// The reproduction host is a single-core container, so wall-clock speedup
+// of thread-ranks is physically impossible. Instead every rank maintains a
+// virtual clock: compute phases advance it by work/rate, and messages
+// synchronize it LogP-style (a receive completes no earlier than the
+// sender's clock at send time + latency + bytes/bandwidth). The makespan
+// over ranks is the simulated parallel execution time reported by the
+// figure benches; real wall time and real bytes are reported alongside.
+#pragma once
+
+namespace cubist {
+
+struct CostModel {
+  /// Aggregation updates (child_cell += value) per second. Default is
+  /// calibrated to the paper's 250 MHz Ultra-II class nodes.
+  double update_rate = 12e6;
+  /// Input cells scanned/decoded per second (sparse chunk-offset decode).
+  double scan_rate = 12e6;
+  /// Per-message wire latency in seconds (Myrinet-class); overlaps with
+  /// the sender's next work (pipelined).
+  double latency = 20e-6;
+  /// Per-message sender/receiver CPU overhead in seconds (LogP's `o`);
+  /// does NOT overlap, so fine-grained messaging pays it per message.
+  /// Default 0 keeps simple tests exact; the calibrated paper model sets
+  /// a 2002-middleware-realistic value.
+  double overhead = 0.0;
+  /// Link bandwidth in bytes/second (Myrinet-class).
+  double bandwidth = 100e6;
+
+  double seconds_for_updates(double updates) const {
+    return updates / update_rate;
+  }
+  double seconds_for_scan(double cells) const { return cells / scan_rate; }
+  double transfer_seconds(double bytes) const { return bytes / bandwidth; }
+};
+
+}  // namespace cubist

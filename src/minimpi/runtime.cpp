@@ -1,0 +1,61 @@
+#include "minimpi/runtime.h"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "minimpi/runtime_state.h"
+
+namespace cubist {
+
+RunReport Runtime::run(int num_ranks, const CostModel& model,
+                       const std::function<void(Comm&)>& fn) {
+  CUBIST_CHECK(num_ranks >= 1, "need at least one rank");
+  CUBIST_CHECK(fn != nullptr, "null rank function");
+
+  RuntimeState state(num_ranks, model);
+  std::vector<double> rank_seconds(static_cast<std::size_t>(num_ranks), 0.0);
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(state, r);
+      try {
+        fn(comm);
+        rank_seconds[static_cast<std::size_t>(r)] = comm.clock();
+      } catch (const AbortedError&) {
+        // A sibling failed first; its exception carries the report.
+      } catch (...) {
+        {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        state.abort_all();
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+
+  RunReport report;
+  report.wall_seconds = timer.elapsed_seconds();
+  report.volume = state.ledger().snapshot();
+  report.rank_seconds = std::move(rank_seconds);
+  report.makespan_seconds = *std::max_element(report.rank_seconds.begin(),
+                                              report.rank_seconds.end());
+  return report;
+}
+
+}  // namespace cubist

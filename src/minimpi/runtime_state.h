@@ -1,0 +1,86 @@
+// RuntimeState: the shared (runtime-internal) state behind Comm.
+//
+// Only the transport and synchronization primitives live here; rank
+// programs never touch it directly, preserving the shared-nothing model.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "minimpi/cost_model.h"
+#include "minimpi/ledger.h"
+#include "minimpi/mailbox.h"
+
+namespace cubist {
+
+class RuntimeState {
+ public:
+  RuntimeState(int size, CostModel model) : size_(size), model_(model) {
+    mailboxes_.reserve(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) {
+      mailboxes_.push_back(std::make_unique<Mailbox>());
+    }
+  }
+
+  int size() const { return size_; }
+  const CostModel& model() const { return model_; }
+  Mailbox& mailbox(int rank) {
+    return *mailboxes_[static_cast<std::size_t>(rank)];
+  }
+  VolumeLedger& ledger() { return ledger_; }
+
+  void abort_all() {
+    aborted_.store(true);
+    for (auto& mailbox : mailboxes_) {
+      mailbox->abort();
+    }
+    // Unblock barrier waiters too.
+    barrier_cv_.notify_all();
+  }
+  bool aborted() const { return aborted_.load(); }
+
+  /// Generation barrier that also synchronizes virtual clocks: every
+  /// participant's clock becomes max(clocks) + latency * ceil(log2(p)).
+  /// Returns the released clock value.
+  double barrier(double clock) {
+    std::unique_lock lock(barrier_mutex_);
+    const long my_generation = barrier_generation_;
+    barrier_max_clock_ = std::max(barrier_max_clock_, clock);
+    if (++barrier_arrived_ == size_) {
+      int rounds = 0;
+      while ((1 << rounds) < size_) ++rounds;
+      barrier_release_clock_ =
+          barrier_max_clock_ + model_.latency * rounds;
+      barrier_arrived_ = 0;
+      barrier_max_clock_ = 0.0;
+      ++barrier_generation_;
+      barrier_cv_.notify_all();
+    } else {
+      barrier_cv_.wait(lock, [&] {
+        return barrier_generation_ != my_generation || aborted_.load();
+      });
+      if (aborted_.load()) throw AbortedError();
+    }
+    return barrier_release_clock_;
+  }
+
+ private:
+  int size_;
+  CostModel model_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  VolumeLedger ledger_;
+  std::atomic<bool> aborted_{false};
+
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  int barrier_arrived_ = 0;
+  long barrier_generation_ = 0;
+  double barrier_max_clock_ = 0.0;
+  double barrier_release_clock_ = 0.0;
+};
+
+}  // namespace cubist

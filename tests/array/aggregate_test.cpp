@@ -1,0 +1,232 @@
+#include "array/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cubist {
+namespace {
+
+/// Brute-force marginalization: sums `parent` over dimension `pos` using
+/// only Shape::unravel — independent of the kernel's stride arithmetic.
+DenseArray brute_force_aggregate(const DenseArray& parent, int pos) {
+  DenseArray out{parent.shape().without_dim(pos)};
+  const int m = parent.ndim();
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(m));
+  std::vector<std::int64_t> child_idx;
+  for (std::int64_t linear = 0; linear < parent.size(); ++linear) {
+    parent.shape().unravel(linear, idx.data());
+    child_idx.clear();
+    for (int d = 0; d < m; ++d) {
+      if (d != pos) child_idx.push_back(idx[d]);
+    }
+    out.at(child_idx) += parent[linear];
+  }
+  return out;
+}
+
+TEST(AggregateDenseTest, SingleTargetMatchesBruteForce2D) {
+  const DenseArray parent = testing::iota_dense({3, 4});
+  for (int pos = 0; pos < 2; ++pos) {
+    DenseArray child{parent.shape().without_dim(pos)};
+    const AggregationTarget target{pos, &child};
+    aggregate_children(parent, std::span(&target, 1));
+    EXPECT_EQ(child, brute_force_aggregate(parent, pos)) << "pos=" << pos;
+  }
+}
+
+TEST(AggregateDenseTest, AllChildrenSimultaneouslyMatchBruteForce) {
+  const DenseArray parent = testing::random_dense({4, 3, 5}, 0.7, 21);
+  std::vector<DenseArray> children;
+  children.reserve(3);
+  for (int pos = 0; pos < 3; ++pos) {
+    children.emplace_back(parent.shape().without_dim(pos));
+  }
+  std::vector<AggregationTarget> targets;
+  for (int pos = 0; pos < 3; ++pos) {
+    targets.push_back({pos, &children[static_cast<std::size_t>(pos)]});
+  }
+  const AggregationStats stats = aggregate_children(parent, targets);
+  for (int pos = 0; pos < 3; ++pos) {
+    EXPECT_EQ(children[static_cast<std::size_t>(pos)],
+              brute_force_aggregate(parent, pos))
+        << "pos=" << pos;
+  }
+  EXPECT_EQ(stats.cells_scanned, parent.size());
+  EXPECT_EQ(stats.updates, parent.size() * 3);
+}
+
+TEST(AggregateDenseTest, VectorToScalar) {
+  const DenseArray parent = testing::iota_dense({5});
+  DenseArray child{Shape{std::vector<std::int64_t>{}}};
+  const AggregationTarget target{0, &child};
+  aggregate_children(parent, std::span(&target, 1));
+  EXPECT_EQ(child[0], 15.0);  // 1+2+3+4+5
+}
+
+TEST(AggregateDenseTest, TotalIsPreservedByEveryChild) {
+  const DenseArray parent = testing::random_dense({6, 2, 4, 3}, 0.4, 8);
+  for (int pos = 0; pos < 4; ++pos) {
+    DenseArray child{parent.shape().without_dim(pos)};
+    const AggregationTarget target{pos, &child};
+    aggregate_children(parent, std::span(&target, 1));
+    EXPECT_EQ(child.total(), parent.total()) << "pos=" << pos;
+  }
+}
+
+TEST(AggregateDenseTest, AccumulatesIntoExistingValues) {
+  const DenseArray parent = testing::iota_dense({2, 2});
+  DenseArray child{Shape{{2}}};
+  child.fill(100.0);
+  const AggregationTarget target{0, &child};
+  aggregate_children(parent, std::span(&target, 1));
+  EXPECT_EQ(child[0], 104.0);  // 100 + 1 + 3
+  EXPECT_EQ(child[1], 106.0);  // 100 + 2 + 4
+}
+
+TEST(AggregateDenseTest, ShapeMismatchThrows) {
+  const DenseArray parent = testing::iota_dense({3, 4});
+  DenseArray wrong{Shape{{3}}};  // should be {4} for pos=0
+  const AggregationTarget target{0, &wrong};
+  EXPECT_THROW(aggregate_children(parent, std::span(&target, 1)),
+               InvalidArgument);
+}
+
+TEST(AggregateDenseTest, EmptyTargetsIsNoOp) {
+  const DenseArray parent = testing::iota_dense({3, 4});
+  const AggregationStats stats =
+      aggregate_children(parent, std::span<const AggregationTarget>{});
+  EXPECT_EQ(stats.cells_scanned, 0);
+  EXPECT_EQ(stats.updates, 0);
+}
+
+// --- sparse kernel ---
+
+class AggregateSparseTest
+    : public ::testing::TestWithParam<std::vector<std::int64_t>> {};
+
+TEST_P(AggregateSparseTest, MatchesDenseKernelForAnyChunking) {
+  const std::vector<std::int64_t> chunk_extents = GetParam();
+  const DenseArray dense = testing::random_dense({7, 5, 6}, 0.3, 33);
+  const SparseArray sparse = SparseArray::from_dense(dense, chunk_extents);
+
+  for (int pos = 0; pos < 3; ++pos) {
+    DenseArray from_sparse{dense.shape().without_dim(pos)};
+    DenseArray from_dense{dense.shape().without_dim(pos)};
+    const AggregationTarget sparse_target{pos, &from_sparse};
+    const AggregationTarget dense_target{pos, &from_dense};
+    aggregate_children(sparse, std::span(&sparse_target, 1));
+    aggregate_children(dense, std::span(&dense_target, 1));
+    EXPECT_EQ(from_sparse, from_dense) << "pos=" << pos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chunkings, AggregateSparseTest,
+    ::testing::Values(std::vector<std::int64_t>{7, 5, 6},   // one chunk
+                      std::vector<std::int64_t>{4, 4, 4},   // boundary chunks
+                      std::vector<std::int64_t>{1, 1, 1},   // degenerate
+                      std::vector<std::int64_t>{2, 5, 3},   // mixed
+                      std::vector<std::int64_t>{16, 16, 16}));  // oversize
+
+TEST(AggregateSparseTest, MultiTargetMatchesBruteForce) {
+  const DenseArray dense = testing::random_dense({6, 4, 5}, 0.25, 77);
+  const SparseArray sparse = SparseArray::from_dense(dense, {4, 4, 4});
+  std::vector<DenseArray> children;
+  for (int pos = 0; pos < 3; ++pos) {
+    children.emplace_back(dense.shape().without_dim(pos));
+  }
+  std::vector<AggregationTarget> targets;
+  for (int pos = 0; pos < 3; ++pos) {
+    targets.push_back({pos, &children[static_cast<std::size_t>(pos)]});
+  }
+  const AggregationStats stats = aggregate_children(sparse, targets);
+  for (int pos = 0; pos < 3; ++pos) {
+    EXPECT_EQ(children[static_cast<std::size_t>(pos)],
+              brute_force_aggregate(dense, pos));
+  }
+  EXPECT_EQ(stats.cells_scanned, sparse.nnz());
+  EXPECT_EQ(stats.updates, sparse.nnz() * 3);
+}
+
+TEST(AggregateSparseTest, HugeChunkFallsBackToDecodePath) {
+  // A single chunk above the offset-table threshold (2^22 cells) must
+  // take the decode path and still match the dense kernel.
+  const std::vector<std::int64_t> extents{40, 40, 40, 70};  // 4.48M cells
+  DenseArray dense{Shape{extents}};
+  Xoshiro256ss rng(99);
+  // Populate sparsely by hand to keep the test fast.
+  for (int i = 0; i < 20000; ++i) {
+    const auto linear =
+        static_cast<std::int64_t>(rng.next_below(
+            static_cast<std::uint64_t>(dense.size())));
+    dense[linear] = static_cast<Value>(1 + rng.next_below(9));
+  }
+  const SparseArray sparse = SparseArray::from_dense(dense, extents);
+  ASSERT_EQ(sparse.num_chunks(), 1);
+  for (int pos = 0; pos < 4; ++pos) {
+    DenseArray from_sparse{dense.shape().without_dim(pos)};
+    DenseArray from_dense{dense.shape().without_dim(pos)};
+    const AggregationTarget st{pos, &from_sparse};
+    const AggregationTarget dt{pos, &from_dense};
+    aggregate_children(sparse, std::span(&st, 1));
+    aggregate_children(dense, std::span(&dt, 1));
+    ASSERT_EQ(from_sparse, from_dense) << pos;
+  }
+}
+
+// --- generic projection ---
+
+TEST(ProjectTest, KeepAllIsIdentityCopy) {
+  const DenseArray parent = testing::iota_dense({3, 4});
+  DenseArray out{parent.shape()};
+  project(parent, {0, 1}, &out);
+  EXPECT_EQ(out, parent);
+}
+
+TEST(ProjectTest, KeepNoneSumsEverything) {
+  const DenseArray parent = testing::iota_dense({3, 4});
+  DenseArray out{Shape{std::vector<std::int64_t>{}}};
+  project(parent, {}, &out);
+  EXPECT_EQ(out[0], parent.total());
+}
+
+TEST(ProjectTest, MultiDimDropMatchesIteratedSingleDrops) {
+  const DenseArray parent = testing::random_dense({4, 3, 5, 2}, 0.6, 13);
+  // Drop dims 1 and 3 in one projection...
+  DenseArray direct{Shape{{4, 5}}};
+  project(parent, {0, 2}, &direct);
+  // ...versus dropping 3 then 1 with the single-dim kernel.
+  DenseArray step1{parent.shape().without_dim(3)};
+  const AggregationTarget t1{3, &step1};
+  aggregate_children(parent, std::span(&t1, 1));
+  DenseArray step2{step1.shape().without_dim(1)};
+  const AggregationTarget t2{1, &step2};
+  aggregate_children(step1, std::span(&t2, 1));
+  EXPECT_EQ(direct, step2);
+}
+
+TEST(ProjectTest, SparseMatchesDense) {
+  const DenseArray dense = testing::random_dense({5, 6, 4}, 0.3, 41);
+  const SparseArray sparse = SparseArray::from_dense(dense, {3, 3, 3});
+  DenseArray from_dense{Shape{{6}}};
+  DenseArray from_sparse{Shape{{6}}};
+  project(dense, {1}, &from_dense);
+  project(sparse, {1}, &from_sparse);
+  EXPECT_EQ(from_dense, from_sparse);
+}
+
+TEST(ProjectTest, NonAscendingKeptPositionsRejected) {
+  const DenseArray parent = testing::iota_dense({3, 4, 5});
+  DenseArray out{Shape{{5, 3}}};
+  EXPECT_THROW(project(parent, {2, 0}, &out), InvalidArgument);
+}
+
+TEST(ProjectTest, WrongOutputShapeRejected) {
+  const DenseArray parent = testing::iota_dense({3, 4});
+  DenseArray out{Shape{{3}}};
+  EXPECT_THROW(project(parent, {1}, &out), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cubist

@@ -1,0 +1,101 @@
+#include "array/block.h"
+
+#include <gtest/gtest.h>
+
+namespace cubist {
+namespace {
+
+TEST(SplitRangeTest, DivisibleSplitIsEqual) {
+  for (std::int64_t part = 0; part < 4; ++part) {
+    const auto [lo, hi] = split_range(16, 4, part);
+    EXPECT_EQ(lo, part * 4);
+    EXPECT_EQ(hi, (part + 1) * 4);
+  }
+}
+
+TEST(SplitRangeTest, RemainderGoesToFirstParts) {
+  // 10 into 4: 3,3,2,2.
+  EXPECT_EQ(split_range(10, 4, 0), (std::pair<std::int64_t, std::int64_t>{0, 3}));
+  EXPECT_EQ(split_range(10, 4, 1), (std::pair<std::int64_t, std::int64_t>{3, 6}));
+  EXPECT_EQ(split_range(10, 4, 2), (std::pair<std::int64_t, std::int64_t>{6, 8}));
+  EXPECT_EQ(split_range(10, 4, 3), (std::pair<std::int64_t, std::int64_t>{8, 10}));
+}
+
+TEST(SplitRangeTest, PartsCoverExtentExactly) {
+  for (std::int64_t extent : {7, 16, 33}) {
+    for (std::int64_t parts : {1, 2, 4, 7}) {
+      if (extent < parts) continue;
+      std::int64_t covered = 0;
+      std::int64_t prev_hi = 0;
+      for (std::int64_t part = 0; part < parts; ++part) {
+        const auto [lo, hi] = split_range(extent, parts, part);
+        EXPECT_EQ(lo, prev_hi);
+        EXPECT_GT(hi, lo);
+        covered += hi - lo;
+        prev_hi = hi;
+      }
+      EXPECT_EQ(covered, extent);
+    }
+  }
+}
+
+TEST(SplitRangeTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(split_range(10, 0, 0), InvalidArgument);
+  EXPECT_THROW(split_range(10, 4, 4), InvalidArgument);
+  EXPECT_THROW(split_range(10, 4, -1), InvalidArgument);
+  EXPECT_THROW(split_range(2, 4, 0), InvalidArgument);  // empty pieces
+}
+
+TEST(BlockRangeTest, ExtentsAndSize) {
+  const BlockRange block({2, 0}, {5, 4});
+  EXPECT_EQ(block.extents(), (std::vector<std::int64_t>{3, 4}));
+  EXPECT_EQ(block.size(), 12);
+  EXPECT_EQ(block.local_shape(), Shape({3, 4}));
+}
+
+TEST(BlockRangeTest, ContainsAndToLocal) {
+  const BlockRange block({2, 4}, {5, 8});
+  const std::int64_t inside[] = {3, 4};
+  const std::int64_t outside[] = {5, 4};
+  EXPECT_TRUE(block.contains(inside));
+  EXPECT_FALSE(block.contains(outside));
+  std::int64_t local[2];
+  block.to_local(inside, local);
+  EXPECT_EQ(local[0], 1);
+  EXPECT_EQ(local[1], 0);
+}
+
+TEST(BlockRangeTest, EmptyRangeRejected) {
+  EXPECT_THROW(BlockRange({2}, {2}), InvalidArgument);
+  EXPECT_THROW(BlockRange({-1}, {3}), InvalidArgument);
+  EXPECT_THROW(BlockRange({0, 0}, {2}), InvalidArgument);
+}
+
+TEST(BlockForTest, GridBlocksTileTheArray) {
+  const std::vector<std::int64_t> extents{8, 6};
+  const std::vector<std::int64_t> splits{2, 3};
+  std::int64_t covered = 0;
+  for (std::int64_t c0 = 0; c0 < 2; ++c0) {
+    for (std::int64_t c1 = 0; c1 < 3; ++c1) {
+      const BlockRange block = block_for(extents, splits, {c0, c1});
+      covered += block.size();
+    }
+  }
+  EXPECT_EQ(covered, 48);
+}
+
+TEST(BlockForTest, UnsplitDimensionKeepsFullExtent) {
+  const BlockRange block = block_for({8, 6}, {2, 1}, {1, 0});
+  EXPECT_EQ(block.lo(0), 4);
+  EXPECT_EQ(block.hi(0), 8);
+  EXPECT_EQ(block.lo(1), 0);
+  EXPECT_EQ(block.hi(1), 6);
+}
+
+TEST(BlockRangeTest, ToStringRendersRanges) {
+  const BlockRange block({0, 2}, {4, 6});
+  EXPECT_EQ(block.to_string(), "[0,4)x[2,6)");
+}
+
+}  // namespace
+}  // namespace cubist

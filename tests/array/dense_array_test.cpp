@@ -1,0 +1,74 @@
+#include "array/dense_array.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cubist {
+namespace {
+
+TEST(DenseArrayTest, ZeroInitialized) {
+  const DenseArray a{Shape{{3, 4}}};
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], 0.0);
+  }
+}
+
+TEST(DenseArrayTest, ScalarArray) {
+  DenseArray a{Shape{std::vector<std::int64_t>{}}};
+  EXPECT_EQ(a.size(), 1);
+  a[0] = 7;
+  EXPECT_EQ(a.total(), 7.0);
+}
+
+TEST(DenseArrayTest, MultiIndexAccess) {
+  DenseArray a{Shape{{2, 3}}};
+  a.at({1, 2}) = 5;
+  EXPECT_EQ(a[1 * 3 + 2], 5.0);
+  EXPECT_EQ(a.at({1, 2}), 5.0);
+}
+
+TEST(DenseArrayTest, BytesCountsValues) {
+  const DenseArray a{Shape{{10, 10}}};
+  EXPECT_EQ(a.bytes(), 100 * static_cast<std::int64_t>(sizeof(Value)));
+}
+
+TEST(DenseArrayTest, FillAndTotal) {
+  DenseArray a{Shape{{4, 5}}};
+  a.fill(2.0);
+  EXPECT_EQ(a.total(), 40.0);
+}
+
+TEST(DenseArrayTest, AccumulateAddsElementwise) {
+  DenseArray a = testing::iota_dense({2, 3});
+  DenseArray b = testing::iota_dense({2, 3});
+  a.accumulate(b);
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], 2.0 * static_cast<double>(i + 1));
+  }
+}
+
+TEST(DenseArrayTest, AccumulateShapeMismatchThrows) {
+  DenseArray a{Shape{{2, 3}}};
+  DenseArray b{Shape{{3, 2}}};
+  EXPECT_THROW(a.accumulate(b), InvalidArgument);
+}
+
+TEST(DenseArrayTest, EqualityIsValueBased) {
+  DenseArray a = testing::iota_dense({2, 2});
+  DenseArray b = testing::iota_dense({2, 2});
+  EXPECT_EQ(a, b);
+  b[3] += 1;
+  EXPECT_NE(a, b);
+}
+
+TEST(DenseArrayTest, RandomDenseIsDeterministic) {
+  const DenseArray a = testing::random_dense({4, 4}, 0.5, 99);
+  const DenseArray b = testing::random_dense({4, 4}, 0.5, 99);
+  EXPECT_EQ(a, b);
+  const DenseArray c = testing::random_dense({4, 4}, 0.5, 100);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace cubist

@@ -1,0 +1,114 @@
+#include "array/permute.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/ordering.h"
+#include "core/sequential_builder.h"
+#include "io/generators.h"
+#include "test_util.h"
+
+namespace cubist {
+namespace {
+
+TEST(PermuteDenseTest, TransposeMatrix) {
+  const DenseArray a = testing::iota_dense({2, 3});
+  const DenseArray t = permute_dims(a, {1, 0});
+  ASSERT_EQ(t.shape(), Shape({3, 2}));
+  for (std::int64_t r = 0; r < 2; ++r) {
+    for (std::int64_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(t.at({c, r}), a.at({r, c}));
+    }
+  }
+}
+
+TEST(PermuteDenseTest, IdentityPermutationIsIdentity) {
+  const DenseArray a = testing::random_dense({3, 4, 2}, 0.5, 1);
+  EXPECT_EQ(permute_dims(a, {0, 1, 2}), a);
+}
+
+TEST(PermuteDenseTest, PermutationComposesToIdentity) {
+  const DenseArray a = testing::random_dense({3, 4, 2}, 0.5, 2);
+  const std::vector<int> perm{2, 0, 1};
+  const std::vector<int> inverse = invert_permutation(perm);
+  EXPECT_EQ(permute_dims(permute_dims(a, perm), inverse), a);
+}
+
+TEST(PermuteDenseTest, NotAPermutationThrows) {
+  const DenseArray a = testing::iota_dense({2, 2});
+  EXPECT_THROW(permute_dims(a, {0, 0}), InvalidArgument);
+  EXPECT_THROW(permute_dims(a, {0}), InvalidArgument);
+  EXPECT_THROW(permute_dims(a, {0, 2}), InvalidArgument);
+}
+
+TEST(PermuteSparseTest, MatchesDensePermutation) {
+  SparseSpec spec;
+  spec.sizes = {6, 5, 4};
+  spec.density = 0.3;
+  spec.seed = 3;
+  const SparseArray sparse = generate_sparse_global(spec);
+  const std::vector<int> perm{2, 0, 1};
+  EXPECT_EQ(permute_dims(sparse, perm).to_dense(),
+            permute_dims(sparse.to_dense(), perm));
+}
+
+TEST(PermuteSparseTest, PreservesNnzAndChunksFollow) {
+  SparseSpec spec;
+  spec.sizes = {9, 7, 5};
+  spec.density = 0.25;
+  spec.seed = 8;
+  spec.chunk_extents = {4, 3, 2};
+  const SparseArray sparse = generate_sparse_global(spec);
+  const SparseArray permuted = permute_dims(sparse, {1, 2, 0});
+  EXPECT_EQ(permuted.nnz(), sparse.nnz());
+  EXPECT_EQ(permuted.chunk_extents(),
+            (std::vector<std::int64_t>{3, 2, 4}));
+  EXPECT_EQ(permuted.shape().extents(),
+            (std::vector<std::int64_t>{7, 5, 9}));
+}
+
+TEST(PermuteCoordsTest, FollowsConvention) {
+  // perm[pos] = input dim at output position pos.
+  EXPECT_EQ(permute_coords({10, 20, 30}, {2, 0, 1}),
+            (std::vector<std::int64_t>{30, 10, 20}));
+}
+
+TEST(PermuteTest, OptimalOrderingWorkflowRoundTrips) {
+  // The intended workflow: sort dimensions descending, build the cube in
+  // the optimal order, translate queries. Every query must agree with a
+  // cube built in the original (suboptimal) order.
+  SparseSpec spec;
+  spec.sizes = {3, 8, 5};  // deliberately not sorted
+  spec.density = 0.4;
+  spec.seed = 13;
+  const SparseArray original = generate_sparse_global(spec);
+  const std::vector<int> perm = descending_permutation(spec.sizes);
+  const SparseArray ordered = permute_dims(original, perm);
+  EXPECT_TRUE(is_minimal_parent_ordering(ordered.shape().extents()));
+
+  const CubeResult original_cube = build_cube_sequential(original);
+  const CubeResult ordered_cube = build_cube_sequential(ordered);
+  const std::vector<int> inverse = invert_permutation(perm);
+
+  // Query "dims {0,2} at (2,4)" in ORIGINAL coordinates against both.
+  const DimSet original_view = DimSet::of({0, 2});
+  // In the ordered cube the same dims live at positions inverse[d].
+  DimSet ordered_view;
+  for (int d : original_view.dims()) {
+    ordered_view = ordered_view.with(inverse[d]);
+  }
+  // Coordinates must be listed in ascending-position order of each cube.
+  const Value lhs = original_cube.query(original_view, {2, 4});
+  // Ordered positions of dims {0,2}: inverse[0], inverse[2]; ascending
+  // position order determines the coordinate order.
+  std::vector<std::pair<int, std::int64_t>> pairs{
+      {inverse[0], 2}, {inverse[2], 4}};
+  std::sort(pairs.begin(), pairs.end());
+  const Value rhs =
+      ordered_cube.query(ordered_view, {pairs[0].second, pairs[1].second});
+  EXPECT_EQ(lhs, rhs);
+}
+
+}  // namespace
+}  // namespace cubist

@@ -1,0 +1,77 @@
+#include "array/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace cubist {
+namespace {
+
+TEST(ShapeTest, ScalarShape) {
+  const Shape s{std::vector<std::int64_t>{}};
+  EXPECT_EQ(s.ndim(), 0);
+  EXPECT_EQ(s.size(), 1);
+  EXPECT_EQ(s.to_string(), "scalar");
+}
+
+TEST(ShapeTest, RowMajorStrides) {
+  const Shape s{{4, 3, 2}};
+  EXPECT_EQ(s.stride(0), 6);
+  EXPECT_EQ(s.stride(1), 2);
+  EXPECT_EQ(s.stride(2), 1);
+  EXPECT_EQ(s.size(), 24);
+}
+
+TEST(ShapeTest, LinearIndexMatchesManualComputation) {
+  const Shape s{{4, 3, 2}};
+  const std::vector<std::int64_t> idx{2, 1, 1};
+  EXPECT_EQ(s.linear_index(idx), 2 * 6 + 1 * 2 + 1);
+}
+
+TEST(ShapeTest, LinearIndexRankMismatchThrows) {
+  const Shape s{{4, 3}};
+  EXPECT_THROW(s.linear_index(std::vector<std::int64_t>{1}), InvalidArgument);
+}
+
+TEST(ShapeTest, UnravelIsInverseOfLinearIndex) {
+  const Shape s{{3, 5, 2, 4}};
+  std::vector<std::int64_t> idx(4);
+  for (std::int64_t linear = 0; linear < s.size(); ++linear) {
+    s.unravel(linear, idx.data());
+    ASSERT_EQ(s.linear_index(idx.data()), linear);
+    for (int d = 0; d < 4; ++d) {
+      ASSERT_GE(idx[d], 0);
+      ASSERT_LT(idx[d], s.extent(d));
+    }
+  }
+}
+
+TEST(ShapeTest, WithoutDim) {
+  const Shape s{{4, 3, 2}};
+  EXPECT_EQ(s.without_dim(0), Shape({3, 2}));
+  EXPECT_EQ(s.without_dim(1), Shape({4, 2}));
+  EXPECT_EQ(s.without_dim(2), Shape({4, 3}));
+  EXPECT_THROW(s.without_dim(3), InvalidArgument);
+}
+
+TEST(ShapeTest, WithoutDimOfVectorYieldsScalar) {
+  const Shape s{{5}};
+  EXPECT_EQ(s.without_dim(0).ndim(), 0);
+  EXPECT_EQ(s.without_dim(0).size(), 1);
+}
+
+TEST(ShapeTest, NonPositiveExtentRejected) {
+  EXPECT_THROW(Shape({4, 0}), InvalidArgument);
+  EXPECT_THROW(Shape({-1}), InvalidArgument);
+}
+
+TEST(ShapeTest, OverflowRejected) {
+  EXPECT_THROW(Shape({std::int64_t{1} << 31, std::int64_t{1} << 31,
+                      std::int64_t{1} << 31}),
+               InvalidArgument);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(Shape({64, 64, 32}).to_string(), "64x64x32");
+}
+
+}  // namespace
+}  // namespace cubist

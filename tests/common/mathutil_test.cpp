@@ -1,0 +1,64 @@
+#include "common/mathutil.h"
+
+#include <gtest/gtest.h>
+
+namespace cubist {
+namespace {
+
+TEST(MathUtilTest, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ull << 40));
+  EXPECT_FALSE(is_pow2((1ull << 40) + 1));
+}
+
+TEST(MathUtilTest, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0);
+  EXPECT_EQ(ilog2(2), 1);
+  EXPECT_EQ(ilog2(3), 1);
+  EXPECT_EQ(ilog2(1024), 10);
+  EXPECT_EQ(ilog2((1ull << 50) + 17), 50);
+  EXPECT_THROW(ilog2(0), InvalidArgument);
+}
+
+TEST(MathUtilTest, Pow2) {
+  EXPECT_EQ(pow2(0), 1u);
+  EXPECT_EQ(pow2(4), 16u);
+  EXPECT_EQ(pow2(63), 1ull << 63);
+  EXPECT_THROW(pow2(-1), InvalidArgument);
+  EXPECT_THROW(pow2(64), InvalidArgument);
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 2), 5);
+  EXPECT_EQ(ceil_div(11, 2), 6);
+  EXPECT_EQ(ceil_div(1, 7), 1);
+  EXPECT_EQ(ceil_div(0, 7), 0);
+}
+
+TEST(MathUtilTest, CheckedProduct) {
+  EXPECT_EQ(checked_product({}), 1);
+  EXPECT_EQ(checked_product({3, 4, 5}), 60);
+  EXPECT_THROW(checked_product({0, 4}), InvalidArgument);
+  EXPECT_THROW(checked_product({-2, 4}), InvalidArgument);
+  EXPECT_THROW(checked_product({std::int64_t{1} << 40, std::int64_t{1} << 40}),
+               InvalidArgument);
+}
+
+TEST(MathUtilTest, ProductExcluding) {
+  const std::vector<std::int64_t> sizes{2, 3, 5};
+  EXPECT_EQ(product_excluding(sizes, 0), 15);
+  EXPECT_EQ(product_excluding(sizes, 1), 10);
+  EXPECT_EQ(product_excluding(sizes, 2), 6);
+  EXPECT_THROW(product_excluding(sizes, 3), InvalidArgument);
+  EXPECT_THROW(product_excluding(sizes, -1), InvalidArgument);
+}
+
+TEST(MathUtilTest, ProductExcludingSingleDim) {
+  EXPECT_EQ(product_excluding({7}, 0), 1);
+}
+
+}  // namespace
+}  // namespace cubist

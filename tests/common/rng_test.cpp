@@ -1,0 +1,97 @@
+#include "common/rng.h"
+
+#include "common/error.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace cubist {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndDistinct) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  SplitMix64 c(43);
+  // Different seeds should diverge immediately.
+  EXPECT_NE(SplitMix64(42).next(), c.next());
+}
+
+TEST(Xoshiro256Test, Deterministic) {
+  Xoshiro256ss a(7);
+  Xoshiro256ss b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro256Test, NextBelowStaysInRange) {
+  Xoshiro256ss rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+  EXPECT_EQ(rng.next_below(1), 0u);
+  EXPECT_THROW(rng.next_below(0), InvalidArgument);
+}
+
+TEST(Xoshiro256Test, NextBelowRoughlyUniform) {
+  Xoshiro256ss rng(5);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.next_below(kBuckets)];
+  }
+  for (int b = 0; b < kBuckets; ++b) {
+    // Expected 10000 per bucket; allow 5% slack (far beyond 6 sigma).
+    EXPECT_NEAR(counts[b], kDraws / kBuckets, kDraws / kBuckets * 0.05) << b;
+  }
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256ss rng(3);
+  double min = 1.0;
+  double max = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  EXPECT_LT(min, 0.01);
+  EXPECT_GT(max, 0.99);
+}
+
+TEST(CellHashTest, PureFunctionOfSeedAndIndex) {
+  EXPECT_EQ(cell_hash(1, 100), cell_hash(1, 100));
+  EXPECT_NE(cell_hash(1, 100), cell_hash(2, 100));
+  EXPECT_NE(cell_hash(1, 100), cell_hash(1, 101));
+}
+
+TEST(CellHashTest, NoObviousCollisionsOnDenseRange) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    seen.insert(cell_hash(9, i));
+  }
+  EXPECT_EQ(seen.size(), 100000u);  // 64-bit hash: collisions ~ impossible
+}
+
+TEST(CellHashTest, HighBitsRoughlyUniform) {
+  // The sparse generator thresholds the full 64-bit hash; check the
+  // fraction below a 25% threshold is near 25%.
+  const std::uint64_t threshold = ~std::uint64_t{0} / 4;
+  int below = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (cell_hash(123, static_cast<std::uint64_t>(i)) < threshold) ++below;
+  }
+  EXPECT_NEAR(below, kDraws / 4, kDraws * 0.01);
+}
+
+}  // namespace
+}  // namespace cubist

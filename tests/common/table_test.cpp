@@ -1,0 +1,73 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cubist {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+TEST(TextTableTest, HeaderIsUnderlined) {
+  TextTable table;
+  table.header({"name", "value"});
+  table.row({"x", "1"});
+  const auto lines = lines_of(table.render());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("name"), std::string::npos);
+  EXPECT_EQ(lines[1].find_first_not_of('-'), std::string::npos);
+  EXPECT_NE(lines[2].find("x"), std::string::npos);
+}
+
+TEST(TextTableTest, ColumnsAlign) {
+  TextTable table;
+  table.header({"partition", "time"});
+  table.row({"2x2x2x1", "1.5"});
+  table.row({"8x1x1x1", "12.25"});
+  const auto lines = lines_of(table.render());
+  ASSERT_EQ(lines.size(), 4u);
+  // All rows render to the same width (right-aligned numeric column).
+  EXPECT_EQ(lines[2].size(), lines[3].size());
+}
+
+TEST(TextTableTest, HeaderAddedAfterRowsStillLeads) {
+  TextTable table;
+  table.row({"a", "1"});
+  table.header({"k", "v"});
+  const auto lines = lines_of(table.render());
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0].substr(0, 1), "k");
+}
+
+TEST(TextTableTest, FixedFormatsDigits) {
+  EXPECT_EQ(TextTable::fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::fixed(1.0, 3), "1.000");
+  EXPECT_EQ(TextTable::fixed(-0.5, 1), "-0.5");
+}
+
+TEST(TextTableTest, WithThousands) {
+  EXPECT_EQ(TextTable::with_thousands(0), "0");
+  EXPECT_EQ(TextTable::with_thousands(999), "999");
+  EXPECT_EQ(TextTable::with_thousands(1000), "1,000");
+  EXPECT_EQ(TextTable::with_thousands(1234567), "1,234,567");
+  EXPECT_EQ(TextTable::with_thousands(-45000), "-45,000");
+}
+
+TEST(TextTableTest, RaggedRowsAreTolerated) {
+  TextTable table;
+  table.row({"a", "b", "c"});
+  table.row({"only-one"});
+  EXPECT_NO_THROW(table.render());
+}
+
+}  // namespace
+}  // namespace cubist

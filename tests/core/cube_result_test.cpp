@@ -1,0 +1,81 @@
+#include "core/cube_result.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cubist {
+namespace {
+
+TEST(CubeResultTest, PutAndQuery) {
+  CubeResult cube({4, 3});
+  DenseArray view_a{Shape{{4}}};
+  view_a[2] = 7.0;
+  cube.put(DimSet::of({0}), std::move(view_a));
+  EXPECT_TRUE(cube.has(DimSet::of({0})));
+  EXPECT_FALSE(cube.has(DimSet::of({1})));
+  EXPECT_EQ(cube.query(DimSet::of({0}), {2}), 7.0);
+}
+
+TEST(CubeResultTest, ScalarViewQuery) {
+  CubeResult cube({4, 3});
+  DenseArray all{Shape{std::vector<std::int64_t>{}}};
+  all[0] = 42.0;
+  cube.put(DimSet(), std::move(all));
+  EXPECT_EQ(cube.query(DimSet(), {}), 42.0);
+}
+
+TEST(CubeResultTest, ShapeMismatchRejected) {
+  CubeResult cube({4, 3});
+  EXPECT_THROW(cube.put(DimSet::of({0}), DenseArray{Shape{{3}}}),
+               InvalidArgument);
+  EXPECT_THROW(cube.put(DimSet::of({2}), DenseArray{Shape{{5}}}),
+               InvalidArgument);
+}
+
+TEST(CubeResultTest, QueryCoordinateCountValidated) {
+  CubeResult cube({4, 3});
+  cube.put(DimSet::of({0, 1}), DenseArray{Shape{{4, 3}}});
+  EXPECT_THROW(cube.query(DimSet::of({0, 1}), {1}), InvalidArgument);
+  EXPECT_THROW(cube.query(DimSet::of({0, 1}), {1, 2, 0}), InvalidArgument);
+}
+
+TEST(CubeResultTest, MissingViewThrows) {
+  const CubeResult cube({4});
+  EXPECT_THROW(cube.view(DimSet::of({0})), InvalidArgument);
+  EXPECT_THROW(cube.query(DimSet(), {}), InvalidArgument);
+}
+
+TEST(CubeResultTest, StoredViewsAscending) {
+  CubeResult cube({4, 3});
+  cube.put(DimSet::of({1}), DenseArray{Shape{{3}}});
+  cube.put(DimSet(), DenseArray{Shape{std::vector<std::int64_t>{}}});
+  const auto views = cube.stored_views();
+  ASSERT_EQ(views.size(), 2u);
+  EXPECT_EQ(views[0], DimSet());
+  EXPECT_EQ(views[1], DimSet::of({1}));
+}
+
+TEST(CubeResultTest, TakeRemovesView) {
+  CubeResult cube({4});
+  cube.put(DimSet(), DenseArray{Shape{std::vector<std::int64_t>{}}});
+  DenseArray taken = cube.take(DimSet());
+  EXPECT_EQ(taken.size(), 1);
+  EXPECT_FALSE(cube.has(DimSet()));
+  EXPECT_THROW(cube.take(DimSet()), InvalidArgument);
+}
+
+TEST(CubeResultTest, PutOverwrites) {
+  CubeResult cube({2});
+  DenseArray a{Shape{std::vector<std::int64_t>{}}};
+  a[0] = 1.0;
+  cube.put(DimSet(), std::move(a));
+  DenseArray b{Shape{std::vector<std::int64_t>{}}};
+  b[0] = 2.0;
+  cube.put(DimSet(), std::move(b));
+  EXPECT_EQ(cube.query(DimSet(), {}), 2.0);
+  EXPECT_EQ(cube.num_views(), 1u);
+}
+
+}  // namespace
+}  // namespace cubist

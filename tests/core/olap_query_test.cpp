@@ -1,0 +1,139 @@
+#include "core/olap_query.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sequential_builder.h"
+#include "test_util.h"
+
+namespace cubist {
+namespace {
+
+TEST(SliceTest, FixesOneDimension) {
+  const DenseArray view = testing::iota_dense({3, 4});
+  const DenseArray row = slice(view, 0, 1);  // second row: 5 6 7 8
+  ASSERT_EQ(row.shape(), Shape({4}));
+  for (std::int64_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(row[c], static_cast<Value>(5 + c));
+  }
+  const DenseArray col = slice(view, 1, 2);  // third column: 3 7 11
+  ASSERT_EQ(col.shape(), Shape({3}));
+  EXPECT_EQ(col[0], 3.0);
+  EXPECT_EQ(col[1], 7.0);
+  EXPECT_EQ(col[2], 11.0);
+}
+
+TEST(SliceTest, SliceOfVectorIsScalar) {
+  const DenseArray view = testing::iota_dense({5});
+  const DenseArray cell = slice(view, 0, 3);
+  EXPECT_EQ(cell.ndim(), 0);
+  EXPECT_EQ(cell[0], 4.0);
+}
+
+TEST(SliceTest, SliceEqualsCubeChildWhenSummed) {
+  // Summing all slices along a dimension equals aggregating it away.
+  const DenseArray view = testing::random_dense({4, 5}, 0.8, 3);
+  const CubeResult cube = build_cube_sequential(view);
+  DenseArray summed{Shape{{5}}};
+  for (std::int64_t r = 0; r < 4; ++r) {
+    summed.accumulate(slice(view, 0, r));
+  }
+  EXPECT_EQ(summed, cube.view(DimSet::of({1})));
+}
+
+TEST(SliceTest, InvalidArgumentsThrow) {
+  const DenseArray view = testing::iota_dense({3, 4});
+  EXPECT_THROW(slice(view, 2, 0), InvalidArgument);
+  EXPECT_THROW(slice(view, 0, 3), InvalidArgument);
+  EXPECT_THROW(slice(view, -1, 0), InvalidArgument);
+}
+
+TEST(DiceTest, ExtractsSubcube) {
+  const DenseArray view = testing::iota_dense({4, 4});
+  const DenseArray sub = dice(view, {1, 1}, {3, 4});
+  ASSERT_EQ(sub.shape(), Shape({2, 3}));
+  EXPECT_EQ(sub.at({0, 0}), view.at({1, 1}));
+  EXPECT_EQ(sub.at({1, 2}), view.at({2, 3}));
+}
+
+TEST(DiceTest, FullRangeIsIdentity) {
+  const DenseArray view = testing::iota_dense({3, 2});
+  EXPECT_EQ(dice(view, {0, 0}, {3, 2}), view);
+}
+
+TEST(DiceTest, InvalidRangesThrow) {
+  const DenseArray view = testing::iota_dense({3, 2});
+  EXPECT_THROW(dice(view, {0}, {3}), InvalidArgument);
+  EXPECT_THROW(dice(view, {0, 0}, {4, 2}), InvalidArgument);
+  EXPECT_THROW(dice(view, {1, 0}, {1, 2}), InvalidArgument);
+}
+
+TEST(RollupTest, MappingAggregatesGroups) {
+  const DenseArray view = testing::iota_dense({4});  // 1 2 3 4
+  const DenseArray rolled = rollup(view, 0, {0, 0, 1, 1}, 2);
+  ASSERT_EQ(rolled.shape(), Shape({2}));
+  EXPECT_EQ(rolled[0], 3.0);
+  EXPECT_EQ(rolled[1], 7.0);
+}
+
+TEST(RollupTest, NonContiguousMapping) {
+  const DenseArray view = testing::iota_dense({4});
+  const DenseArray rolled = rollup(view, 0, {1, 0, 1, 0}, 2);
+  EXPECT_EQ(rolled[0], 2.0 + 4.0);
+  EXPECT_EQ(rolled[1], 1.0 + 3.0);
+}
+
+TEST(RollupTest, PreservesTotal) {
+  const DenseArray view = testing::random_dense({6, 8}, 0.7, 5);
+  const DenseArray rolled = rollup_uniform(view, 1, 3);
+  EXPECT_EQ(rolled.shape(), Shape({6, 3}));  // ceil(8/3)
+  EXPECT_EQ(rolled.total(), view.total());
+}
+
+TEST(RollupTest, FactorOneIsIdentity) {
+  const DenseArray view = testing::iota_dense({3, 4});
+  EXPECT_EQ(rollup_uniform(view, 1, 1), view);
+}
+
+TEST(RollupTest, FullFactorEqualsAggregation) {
+  // Rolling a dimension into one group == summing it away.
+  const DenseArray view = testing::random_dense({5, 6}, 0.9, 7);
+  const CubeResult cube = build_cube_sequential(view);
+  const DenseArray rolled = rollup_uniform(view, 1, 6);
+  ASSERT_EQ(rolled.shape(), Shape({5, 1}));
+  const DenseArray& expected = cube.view(DimSet::of({0}));
+  for (std::int64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(rolled.at({i, 0}), expected[i]);
+  }
+}
+
+TEST(RollupTest, InvalidArgumentsThrow) {
+  const DenseArray view = testing::iota_dense({4});
+  EXPECT_THROW(rollup(view, 0, {0, 0, 1}, 2), InvalidArgument);
+  EXPECT_THROW(rollup(view, 0, {0, 0, 1, 2}, 2), InvalidArgument);
+  EXPECT_THROW(rollup(view, 1, {0, 0, 0, 0}, 1), InvalidArgument);
+  EXPECT_THROW(rollup_uniform(view, 0, 0), InvalidArgument);
+}
+
+TEST(TopKTest, ReturnsLargestDescending) {
+  DenseArray view{Shape{{5}}};
+  view[0] = 3;
+  view[1] = 9;
+  view[2] = 1;
+  view[3] = 9;
+  view[4] = 5;
+  const auto top = top_k(view, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], (std::pair<std::int64_t, Value>{1, 9.0}));  // tie: low idx
+  EXPECT_EQ(top[1], (std::pair<std::int64_t, Value>{3, 9.0}));
+  EXPECT_EQ(top[2], (std::pair<std::int64_t, Value>{4, 5.0}));
+}
+
+TEST(TopKTest, KClippedToSize) {
+  const DenseArray view = testing::iota_dense({3});
+  EXPECT_EQ(top_k(view, 10).size(), 3u);
+  EXPECT_TRUE(top_k(view, 0).empty());
+  EXPECT_THROW(top_k(view, -1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cubist

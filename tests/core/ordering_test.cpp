@@ -1,0 +1,105 @@
+#include "core/ordering.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "core/partition.h"
+#include "core/volume_model.h"
+
+namespace cubist {
+namespace {
+
+TEST(OrderingTest, DescendingPermutationSortsSizes) {
+  const std::vector<std::int64_t> sizes{4, 16, 2, 8};
+  const std::vector<int> perm = descending_permutation(sizes);
+  EXPECT_EQ(perm, (std::vector<int>{1, 3, 0, 2}));
+  EXPECT_EQ(apply_permutation(sizes, perm),
+            (std::vector<std::int64_t>{16, 8, 4, 2}));
+}
+
+TEST(OrderingTest, DescendingPermutationStableOnTies) {
+  const std::vector<std::int64_t> sizes{4, 8, 4, 8};
+  EXPECT_EQ(descending_permutation(sizes), (std::vector<int>{1, 3, 0, 2}));
+}
+
+TEST(OrderingTest, InvertPermutationRoundTrip) {
+  const std::vector<int> perm{2, 0, 3, 1};
+  const std::vector<int> inv = invert_permutation(perm);
+  EXPECT_EQ(inv, (std::vector<int>{1, 3, 0, 2}));
+  for (std::size_t pos = 0; pos < perm.size(); ++pos) {
+    EXPECT_EQ(inv[perm[pos]], static_cast<int>(pos));
+  }
+  EXPECT_THROW(invert_permutation({0, 0}), InvalidArgument);
+}
+
+TEST(OrderingTest, MinimalParentOrderingPredicate) {
+  // Theorem 7: minimal parents iff sizes non-increasing by position.
+  EXPECT_TRUE(is_minimal_parent_ordering({8, 4, 2}));
+  EXPECT_TRUE(is_minimal_parent_ordering({4, 4, 4}));
+  EXPECT_FALSE(is_minimal_parent_ordering({2, 4, 8}));
+  EXPECT_FALSE(is_minimal_parent_ordering({8, 2, 4}));
+  EXPECT_TRUE(is_minimal_parent_ordering({5}));
+}
+
+TEST(OrderingTest, DescendingOrderingIsExhaustivelyOptimal) {
+  // Theorem 6 on random instances: among all n! orderings, the
+  // non-increasing one minimizes the optimally-partitioned volume.
+  Xoshiro256ss rng(777);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = 2 + static_cast<int>(rng.next_below(3));  // 2..4 dims
+    const int log_p = 1 + static_cast<int>(rng.next_below(5));
+    std::vector<std::int64_t> sizes(static_cast<std::size_t>(n));
+    for (auto& s : sizes) {
+      s = static_cast<std::int64_t>(2 + rng.next_below(100));
+    }
+    const std::vector<int> descending = descending_permutation(sizes);
+    const std::vector<int> best = best_ordering_exhaustive(sizes, log_p);
+    EXPECT_EQ(ordering_volume(sizes, descending, log_p),
+              ordering_volume(sizes, best, log_p))
+        << "trial " << trial << " log_p " << log_p;
+  }
+}
+
+TEST(OrderingTest, AscendingOrderingIsNeverBetter) {
+  Xoshiro256ss rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::int64_t> sizes(4);
+    for (auto& s : sizes) {
+      s = static_cast<std::int64_t>(2 + rng.next_below(60));
+    }
+    std::vector<int> descending = descending_permutation(sizes);
+    std::vector<int> ascending(descending.rbegin(), descending.rend());
+    EXPECT_LE(ordering_volume(sizes, descending, 3),
+              ordering_volume(sizes, ascending, 3));
+  }
+}
+
+TEST(OrderingTest, PaperSection2Example) {
+  // §2: with |A| >= |B| >= |C| and a single split, partitioning along C
+  // costs |A||B|, along B costs |A||C|, along A costs |B||C| — so the
+  // best 1-D partition splits the largest dimension. The ordering helper
+  // must agree once dimensions are sorted descending.
+  const std::vector<std::int64_t> sizes{8, 4, 2};
+  const auto splits = greedy_partition(sizes, 1);
+  EXPECT_EQ(splits, (std::vector<int>{1, 0, 0}));
+  EXPECT_EQ(total_volume_elements(sizes, splits), 4 * 2);
+}
+
+TEST(OrderingTest, OrderingVolumeUsesGreedyPartition) {
+  const std::vector<std::int64_t> sizes{16, 8, 4};
+  std::vector<int> identity{0, 1, 2};
+  const auto splits = greedy_partition(sizes, 3);
+  EXPECT_EQ(ordering_volume(sizes, identity, 3),
+            total_volume_elements(sizes, splits));
+}
+
+TEST(OrderingTest, ApplyPermutationValidatesRank) {
+  EXPECT_THROW(apply_permutation({1, 2}, {0}), InvalidArgument);
+  EXPECT_THROW(apply_permutation({1, 2}, {0, 5}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cubist

@@ -1,0 +1,126 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/rng.h"
+#include "core/volume_model.h"
+
+namespace cubist {
+namespace {
+
+int sum_of(const std::vector<int>& v) {
+  return std::accumulate(v.begin(), v.end(), 0);
+}
+
+TEST(GreedyPartitionTest, ZeroProcessorsMeansNoSplits) {
+  EXPECT_EQ(greedy_partition({8, 4, 2}, 0), (std::vector<int>{0, 0, 0}));
+}
+
+TEST(GreedyPartitionTest, ExponentsSumToLogP) {
+  for (int log_p = 0; log_p <= 8; ++log_p) {
+    EXPECT_EQ(sum_of(greedy_partition({64, 32, 16, 8}, log_p)), log_p);
+  }
+}
+
+TEST(GreedyPartitionTest, PaperExampleEightProcessorsFourDims) {
+  // Figure 7 setting: 4 equal dims, p=8 -> the optimal grid splits three
+  // different dimensions once each ("three dimensional partition").
+  const auto splits = greedy_partition({64, 64, 64, 64}, 3);
+  EXPECT_EQ(sum_of(splits), 3);
+  // The paper's analysis: splitting more dimensions beats splitting one
+  // dimension more deeply, and the first dimensions carry the smallest
+  // weights, so k = (1,1,1,0).
+  EXPECT_EQ(splits, (std::vector<int>{1, 1, 1, 0}));
+}
+
+TEST(GreedyPartitionTest, PaperExampleSixteenProcessorsFourDims) {
+  // Figure 9 setting: p=16 -> four dimensional partition (2,2,2,2).
+  EXPECT_EQ(greedy_partition({64, 64, 64, 64}, 4),
+            (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(GreedyPartitionTest, SkewedSizesSplitTheBigDimensionFirst) {
+  // One huge dimension: its weight is the smallest, so it is split first.
+  const auto splits = greedy_partition({1024, 4, 4}, 2);
+  EXPECT_EQ(splits[0], 2);
+}
+
+TEST(GreedyPartitionTest, MatchesExhaustiveSearchOnRandomInstances) {
+  // Theorem 8: the greedy partition attains the exhaustive minimum.
+  Xoshiro256ss rng(2003);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 2 + static_cast<int>(rng.next_below(4));   // 2..5 dims
+    const int log_p = static_cast<int>(rng.next_below(7));   // p up to 64
+    std::vector<std::int64_t> sizes(static_cast<std::size_t>(n));
+    for (auto& s : sizes) {
+      s = static_cast<std::int64_t>(2 + rng.next_below(63));
+    }
+    const auto greedy = greedy_partition(sizes, log_p);
+    const auto best = exhaustive_partition(sizes, log_p);
+    EXPECT_EQ(total_volume_elements(sizes, greedy),
+              total_volume_elements(sizes, best))
+        << "trial " << trial;
+    EXPECT_EQ(sum_of(greedy), log_p);
+  }
+}
+
+TEST(EnumeratePartitionsTest, CountsCompositions) {
+  // C(log_p + n - 1, n - 1) compositions.
+  EXPECT_EQ(enumerate_partitions(1, 5).size(), 1u);
+  EXPECT_EQ(enumerate_partitions(2, 3).size(), 4u);
+  EXPECT_EQ(enumerate_partitions(3, 3).size(), 10u);
+  EXPECT_EQ(enumerate_partitions(4, 3).size(), 20u);
+  EXPECT_EQ(enumerate_partitions(4, 4).size(), 35u);
+}
+
+TEST(EnumeratePartitionsTest, EachCompositionSumsToLogP) {
+  for (const auto& splits : enumerate_partitions(3, 4)) {
+    EXPECT_EQ(sum_of(splits), 4);
+    for (int k : splits) {
+      EXPECT_GE(k, 0);
+    }
+  }
+}
+
+TEST(EnumeratePartitionsTest, PaperCountsForFigures7And9) {
+  // "A four-dimensional dataset can be partitioned in three ways on 8
+  // processors" — three *shapes* {3,2,1 dims}; with equal sizes, the
+  // distinct split multisets among our 10 compositions collapse to 3.
+  // On 16 processors there are five options. We verify the composition
+  // space contains exactly those multisets.
+  auto multisets = [](int ndims, int log_p) {
+    std::set<std::multiset<int>> shapes;
+    for (const auto& splits : enumerate_partitions(ndims, log_p)) {
+      shapes.insert(std::multiset<int>(splits.begin(), splits.end()));
+    }
+    return shapes;
+  };
+  EXPECT_EQ(multisets(4, 3).size(), 3u);   // (1,1,1,0) (2,1,0,0) (3,0,0,0)
+  EXPECT_EQ(multisets(4, 4).size(), 5u);   // + (1,1,2,0)... exactly 5
+}
+
+TEST(WorstPartitionTest, WorstIsNoBetterThanBest) {
+  const std::vector<std::int64_t> sizes{64, 32, 16, 8};
+  const auto best = exhaustive_partition(sizes, 4);
+  const auto worst = worst_partition(sizes, 4);
+  EXPECT_GT(total_volume_elements(sizes, worst),
+            total_volume_elements(sizes, best));
+}
+
+TEST(WorstPartitionTest, OneDimensionalPartitionOfSmallestDimIsWorst) {
+  // Splitting only the last (smallest) dimension has the largest weight.
+  const std::vector<std::int64_t> sizes{64, 32, 16};
+  EXPECT_EQ(worst_partition(sizes, 3), (std::vector<int>{0, 0, 3}));
+}
+
+TEST(GreedyPartitionTest, InvalidInputsThrow) {
+  EXPECT_THROW(greedy_partition({}, 1), InvalidArgument);
+  EXPECT_THROW(greedy_partition({4, 4}, -1), InvalidArgument);
+  EXPECT_THROW(enumerate_partitions(0, 1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cubist

@@ -1,0 +1,103 @@
+#include "core/refresh.h"
+
+#include <gtest/gtest.h>
+
+#include "core/verify.h"
+#include "io/generators.h"
+
+namespace cubist {
+namespace {
+
+SparseArray make(double density, std::uint64_t seed) {
+  SparseSpec spec;
+  spec.sizes = {10, 8, 6};
+  spec.density = density;
+  spec.seed = seed;
+  return generate_sparse_global(spec);
+}
+
+/// Union of two disjoint-seeded sparse arrays (cells colliding add).
+SparseArray merge_inputs(const SparseArray& a, const SparseArray& b) {
+  DenseArray dense = a.to_dense();
+  b.for_each_nonzero([&](const std::int64_t* idx, Value v) {
+    dense[dense.shape().linear_index(idx)] += v;
+  });
+  return SparseArray::from_dense(dense, a.chunk_extents());
+}
+
+TEST(RefreshTest, RefreshEqualsRebuildOnUnion) {
+  const SparseArray base = make(0.3, 1);
+  const SparseArray delta = make(0.05, 2);
+  CubeResult cube = build_cube_sequential(base);
+  refresh_cube(cube, delta);
+  const CubeResult rebuilt =
+      build_cube_sequential(merge_inputs(base, delta));
+  EXPECT_EQ(compare_cubes(rebuilt, cube), "");
+  EXPECT_EQ(validate_cube_consistency(cube), "");
+}
+
+TEST(RefreshTest, MultipleRefreshesCompose) {
+  const SparseArray base = make(0.2, 3);
+  CubeResult cube = build_cube_sequential(base);
+  SparseArray running = base;
+  for (std::uint64_t seed = 10; seed < 13; ++seed) {
+    const SparseArray delta = make(0.03, seed);
+    refresh_cube(cube, delta);
+    running = merge_inputs(running, delta);
+  }
+  EXPECT_EQ(compare_cubes(build_cube_sequential(running), cube), "");
+}
+
+TEST(RefreshTest, EmptyDeltaIsIdentity) {
+  const SparseArray base = make(0.3, 4);
+  CubeResult cube = build_cube_sequential(base);
+  const CubeResult before = cube;
+  const SparseArray empty{Shape{{10, 8, 6}}, {4, 4, 4}};
+  refresh_cube(cube, empty);
+  EXPECT_EQ(compare_cubes(before, cube), "");
+}
+
+TEST(RefreshTest, NegativeDeltaRetracts) {
+  // Retract the base itself: every view returns to zero.
+  const SparseArray base = make(0.3, 5);
+  CubeResult cube = build_cube_sequential(base);
+  DenseArray negated = base.to_dense();
+  for (std::int64_t i = 0; i < negated.size(); ++i) {
+    negated[i] = -negated[i];
+  }
+  refresh_cube(cube,
+               SparseArray::from_dense(negated, base.chunk_extents()));
+  for (DimSet view : cube.stored_views()) {
+    EXPECT_EQ(cube.view(view).total(), 0.0) << view.to_string();
+  }
+}
+
+TEST(RefreshTest, CountCubesRefresh) {
+  const SparseArray base = make(0.3, 6);
+  const SparseArray delta = make(0.04, 7);
+  CubeResult counts =
+      build_cube_sequential(base, nullptr, AggregateOp::kCount);
+  refresh_cube(counts, delta, AggregateOp::kCount);
+  // The scalar count equals the sum of both inputs' nnz (the generator
+  // seeds are independent, so a few collisions may merge cells in a full
+  // rebuild; counting events, the refresh semantics is nnz-additive).
+  EXPECT_EQ(counts.query(DimSet(), {}),
+            static_cast<Value>(base.nnz() + delta.nnz()));
+}
+
+TEST(RefreshTest, MinMaxRejected) {
+  const SparseArray base = make(0.3, 8);
+  CubeResult mins = build_cube_sequential(base, nullptr, AggregateOp::kMin);
+  EXPECT_THROW(refresh_cube(mins, make(0.05, 9), AggregateOp::kMin),
+               InvalidArgument);
+}
+
+TEST(RefreshTest, MismatchedExtentsRejected) {
+  const SparseArray base = make(0.3, 10);
+  CubeResult cube = build_cube_sequential(base);
+  const SparseArray wrong{Shape{{4, 4, 4}}, {2, 2, 2}};
+  EXPECT_THROW(refresh_cube(cube, wrong), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cubist

@@ -1,0 +1,100 @@
+#include "core/verify.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sequential_builder.h"
+#include "io/generators.h"
+#include "test_util.h"
+
+namespace cubist {
+namespace {
+
+TEST(CompareCubesTest, EmptyOnEqualCubes) {
+  const DenseArray root = testing::random_dense({4, 3}, 0.5, 1);
+  EXPECT_EQ(compare_cubes(build_cube_sequential(root),
+                          build_cube_sequential(root)),
+            "");
+}
+
+TEST(CompareCubesTest, ReportsValueMismatch) {
+  const DenseArray root = testing::random_dense({4, 3}, 0.5, 1);
+  CubeResult a = build_cube_sequential(root);
+  CubeResult b = build_cube_sequential(root);
+  b.mutable_view(DimSet::of({0}))[1] += 1;
+  const std::string diff = compare_cubes(a, b);
+  EXPECT_NE(diff.find("{0}"), std::string::npos);
+  EXPECT_NE(diff.find("differs"), std::string::npos);
+}
+
+TEST(CompareCubesTest, ReportsMissingView) {
+  const DenseArray root = testing::random_dense({4, 3}, 0.5, 1);
+  CubeResult a = build_cube_sequential(root);
+  CubeResult b = build_cube_sequential(root);
+  b.take(DimSet::of({1}));
+  EXPECT_NE(compare_cubes(a, b).find("missing"), std::string::npos);
+  // The other direction only compares over b's (smaller) view set.
+  EXPECT_EQ(compare_cubes(b, a), "");
+}
+
+TEST(CompareCubesTest, ReportsExtentMismatch) {
+  const DenseArray a = testing::random_dense({4, 3}, 0.5, 1);
+  const DenseArray b = testing::random_dense({3, 4}, 0.5, 1);
+  EXPECT_NE(compare_cubes(build_cube_sequential(a), build_cube_sequential(b)),
+            "");
+}
+
+TEST(ReferenceCubeTest, SparseAndDenseAgree) {
+  SparseSpec spec;
+  spec.sizes = {5, 4, 3};
+  spec.density = 0.4;
+  spec.seed = 6;
+  const SparseArray sparse = generate_sparse_global(spec);
+  EXPECT_EQ(compare_cubes(reference_cube(sparse),
+                          reference_cube(sparse.to_dense())),
+            "");
+}
+
+TEST(ValidateConsistencyTest, BuilderCubesAreConsistent) {
+  for (const auto& sizes : std::vector<std::vector<std::int64_t>>{
+           {5, 4, 3}, {6, 6}, {3, 3, 3, 3}}) {
+    const DenseArray root = testing::random_dense(sizes, 0.5, 11);
+    EXPECT_EQ(validate_cube_consistency(build_cube_sequential(root)), "");
+  }
+}
+
+TEST(ValidateConsistencyTest, DetectsCorruption) {
+  const DenseArray root = testing::random_dense({5, 4, 3}, 0.6, 13);
+  CubeResult cube = build_cube_sequential(root);
+  // Corrupt one cell of the AB view: the AB -> A and AB -> B edges break.
+  cube.mutable_view(DimSet::of({0, 1}))[0] += 1;
+  const std::string diff = validate_cube_consistency(cube);
+  EXPECT_NE(diff, "");
+  EXPECT_NE(diff.find("inconsistent"), std::string::npos);
+}
+
+TEST(ValidateConsistencyTest, PartialViewSetsAreValidatedOverStoredEdges) {
+  const DenseArray root = testing::random_dense({5, 4}, 0.5, 17);
+  CubeResult cube = build_cube_sequential(root);
+  cube.take(DimSet::of({0}));  // drop one view; remaining edges still hold
+  EXPECT_EQ(validate_cube_consistency(cube), "");
+}
+
+TEST(ValidateConsistencyTest, ScalarVsVectorEdge) {
+  // The `all` node must equal every stored 1-D view summed.
+  const DenseArray root = testing::random_dense({7, 3}, 0.7, 19);
+  CubeResult cube = build_cube_sequential(root);
+  EXPECT_EQ(validate_cube_consistency(cube), "");
+  cube.mutable_view(DimSet())[0] += 1;
+  EXPECT_NE(validate_cube_consistency(cube), "");
+}
+
+TEST(ValidateConsistencyTest, SingleDimensionCubeHasNoInternalEdges) {
+  // n=1: the only stored view is `all`, whose parent is the (unstored)
+  // root — nothing to cross-check, so validation passes vacuously.
+  const DenseArray root = testing::random_dense({7}, 0.7, 19);
+  CubeResult cube = build_cube_sequential(root);
+  EXPECT_EQ(validate_cube_consistency(cube), "");
+}
+
+}  // namespace
+}  // namespace cubist

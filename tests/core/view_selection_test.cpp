@@ -1,0 +1,150 @@
+#include "core/view_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace cubist {
+namespace {
+
+TEST(QueryCostTest, RootAlwaysAnswers) {
+  const CubeLattice lattice({8, 4, 2});
+  EXPECT_EQ(query_cost(lattice, {}, DimSet::of({0})), 64);
+  EXPECT_EQ(query_cost(lattice, {}, DimSet()), 64);
+}
+
+TEST(QueryCostTest, SmallestAncestorWins) {
+  const CubeLattice lattice({8, 4, 2});
+  const std::vector<DimSet> materialized{DimSet::of({0, 1}),
+                                         DimSet::of({0, 2})};
+  // {0} is a subset of both; {0,2} is smaller (16 vs 32).
+  EXPECT_EQ(query_cost(lattice, materialized, DimSet::of({0})), 16);
+  // {1} is only under {0,1}.
+  EXPECT_EQ(query_cost(lattice, materialized, DimSet::of({1})), 32);
+  // {1,2} is under neither -> root.
+  EXPECT_EQ(query_cost(lattice, materialized, DimSet::of({1, 2})), 64);
+  // A materialized view answers itself at its own size.
+  EXPECT_EQ(query_cost(lattice, materialized, DimSet::of({0, 2})), 16);
+}
+
+TEST(TotalQueryCostTest, NoMaterializationCostsRootPerView) {
+  const CubeLattice lattice({8, 4, 2});
+  EXPECT_EQ(total_query_cost(lattice, {}), 8 * 64);
+}
+
+TEST(TotalQueryCostTest, FullMaterializationCostsOwnSizes) {
+  const CubeLattice lattice({8, 4, 2});
+  std::vector<DimSet> all;
+  std::int64_t expected = 0;
+  for (DimSet view : lattice.all_views()) {
+    if (view != DimSet::full(3)) all.push_back(view);
+    expected += lattice.view_cells(view);
+  }
+  EXPECT_EQ(total_query_cost(lattice, all), expected);
+}
+
+TEST(GreedySelectionTest, ZeroViewsIsEmpty) {
+  const CubeLattice lattice({8, 4, 2});
+  const ViewSelection selection = select_views_greedy(lattice, 0);
+  EXPECT_TRUE(selection.views.empty());
+}
+
+TEST(GreedySelectionTest, BenefitsAreNonIncreasing) {
+  // Submodularity of the benefit function ensures monotone greedy gains.
+  const CubeLattice lattice({16, 9, 5, 3});
+  const ViewSelection selection = select_views_greedy(lattice, 6);
+  for (std::size_t i = 1; i < selection.steps.size(); ++i) {
+    EXPECT_GE(selection.steps[i - 1].benefit, selection.steps[i].benefit);
+  }
+}
+
+TEST(GreedySelectionTest, CostDecreasesMonotonically) {
+  const CubeLattice lattice({16, 9, 5, 3});
+  std::int64_t previous = total_query_cost(lattice, {});
+  std::vector<DimSet> prefix;
+  const ViewSelection selection = select_views_greedy(lattice, 8);
+  for (DimSet view : selection.views) {
+    prefix.push_back(view);
+    const std::int64_t cost = total_query_cost(lattice, prefix);
+    EXPECT_LE(cost, previous);
+    previous = cost;
+  }
+}
+
+TEST(GreedySelectionTest, FirstPickIsTheClassicNearHalfView) {
+  // With one huge dimension, the first greedy pick drops it: the view
+  // without dim 0 answers half the lattice at a tiny cost.
+  const CubeLattice lattice({1024, 4, 4});
+  const ViewSelection selection = select_views_greedy(lattice, 1);
+  ASSERT_EQ(selection.views.size(), 1u);
+  EXPECT_EQ(selection.views[0], DimSet::of({1, 2}));
+}
+
+TEST(GreedySelectionTest, StepBenefitMatchesCostDelta) {
+  const CubeLattice lattice({12, 7, 5});
+  const ViewSelection selection = select_views_greedy(lattice, 4);
+  std::vector<DimSet> prefix;
+  std::int64_t cost = total_query_cost(lattice, prefix);
+  for (const SelectionStep& step : selection.steps) {
+    prefix.push_back(step.view);
+    const std::int64_t next_cost = total_query_cost(lattice, prefix);
+    EXPECT_EQ(step.benefit, cost - next_cost) << step.view.to_string();
+    cost = next_cost;
+  }
+}
+
+TEST(GreedySelectionTest, WithinGuaranteeOfExhaustiveOptimum) {
+  // The (1 - 1/e) ~ 0.632 benefit guarantee, validated exhaustively on
+  // random 3-D lattices.
+  Xoshiro256ss rng(12);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::int64_t> sizes(3);
+    for (auto& s : sizes) {
+      s = static_cast<std::int64_t>(2 + rng.next_below(30));
+    }
+    const CubeLattice lattice(sizes);
+    for (int k : {1, 2, 3}) {
+      const std::int64_t base = total_query_cost(lattice, {});
+      const std::int64_t greedy_cost = total_query_cost(
+          lattice, select_views_greedy(lattice, k).views);
+      const std::int64_t optimal_cost = total_query_cost(
+          lattice, select_views_exhaustive(lattice, k).views);
+      EXPECT_LE(optimal_cost, greedy_cost);
+      const double greedy_benefit = static_cast<double>(base - greedy_cost);
+      const double optimal_benefit = static_cast<double>(base - optimal_cost);
+      if (optimal_benefit > 0) {
+        EXPECT_GE(greedy_benefit, 0.632 * optimal_benefit - 1)
+            << "k=" << k << " trial=" << trial;
+      }
+    }
+  }
+}
+
+TEST(GreedySelectionTest, SelectingEverythingReachesFullCubeCost) {
+  const CubeLattice lattice({8, 4, 2});
+  const ViewSelection selection =
+      select_views_greedy(lattice, static_cast<int>(lattice.num_views()) - 1);
+  std::int64_t expected = 0;
+  for (DimSet view : lattice.all_views()) {
+    expected += lattice.view_cells(view);
+  }
+  EXPECT_EQ(total_query_cost(lattice, selection.views), expected);
+}
+
+TEST(SelectionStorageTest, SumsViewSizes) {
+  const CubeLattice lattice({8, 4, 2});
+  EXPECT_EQ(selection_storage_cells(
+                lattice, {DimSet::of({0, 1}), DimSet::of({2}), DimSet()}),
+            32 + 2 + 1);
+}
+
+TEST(GreedySelectionTest, InvalidKThrows) {
+  const CubeLattice lattice({4, 4});
+  EXPECT_THROW(select_views_greedy(lattice, -1), InvalidArgument);
+  EXPECT_THROW(select_views_greedy(lattice, 4), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cubist

@@ -1,0 +1,101 @@
+#include "core/volume_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/partition.h"
+
+namespace cubist {
+namespace {
+
+TEST(VolumeModelTest, EdgeVolumeMatchesLemma1HandComputation) {
+  // 3 dims {8,4,2}, splits 2^1 each. Computing BC (prefix node {0}):
+  // (2^1 - 1) * D1 * D2 = 8.
+  const std::vector<std::int64_t> sizes{8, 4, 2};
+  const std::vector<int> splits{1, 1, 1};
+  EXPECT_EQ(edge_volume_elements(sizes, splits, DimSet::of({0})), 4 * 2);
+  // Computing C (prefix node {0,1}): reduce along max=1: (2-1)*D2.
+  EXPECT_EQ(edge_volume_elements(sizes, splits, DimSet::of({0, 1})), 2);
+  // Computing all (prefix node {0,1,2}): (2-1)*1.
+  EXPECT_EQ(edge_volume_elements(sizes, splits, DimSet::full(3)), 1);
+}
+
+TEST(VolumeModelTest, UnsplitReducedDimensionCostsNothing) {
+  const std::vector<std::int64_t> sizes{8, 4, 2};
+  // Reducing along dim 2 (max of {2}) with k_2 = 0: a single processor
+  // already holds the whole axis.
+  EXPECT_EQ(edge_volume_elements(sizes, {2, 1, 0}, DimSet::of({2})), 0);
+}
+
+TEST(VolumeModelTest, RetainedDimensionSplitsCancel) {
+  // Lemma 1's key property: splitting a *retained* dimension does not
+  // change the edge volume (more groups, proportionally smaller blocks).
+  const std::vector<std::int64_t> sizes{8, 4, 2};
+  const std::int64_t base =
+      edge_volume_elements(sizes, {0, 0, 1}, DimSet::of({2}));
+  EXPECT_EQ(edge_volume_elements(sizes, {2, 0, 1}, DimSet::of({2})), base);
+  EXPECT_EQ(edge_volume_elements(sizes, {1, 3, 1}, DimSet::of({2})), base);
+}
+
+TEST(VolumeModelTest, TotalEqualsSumOfPerViewVolumes) {
+  // Theorem 3's closed form must equal the explicit per-edge sum.
+  const std::vector<std::vector<std::int64_t>> size_cases{
+      {8, 4, 2}, {16, 16, 16}, {64, 16, 4, 2}, {5, 4, 3, 2, 2}};
+  const std::vector<std::vector<int>> split_cases{
+      {1, 1, 1}, {3, 0, 0}, {0, 2, 1, 0}, {1, 1, 1, 1, 0}};
+  for (const auto& sizes : size_cases) {
+    for (const auto& splits : split_cases) {
+      if (splits.size() != sizes.size()) continue;
+      std::int64_t sum = 0;
+      for (const auto& [mask, volume] :
+           volume_by_view_elements(sizes, splits)) {
+        sum += volume;
+      }
+      EXPECT_EQ(sum, total_volume_elements(sizes, splits));
+    }
+  }
+}
+
+TEST(VolumeModelTest, ClosedFormForThreeDimsMatchesManualExpansion) {
+  // V = (2^{k0}-1) D1 D2 + (2^{k1}-1)(1+D0) D2 + (2^{k2}-1)(1+D0)(1+D1)
+  const std::vector<std::int64_t> sizes{8, 4, 2};
+  const auto v = [&](int k0, int k1, int k2) {
+    return total_volume_elements(sizes, {k0, k1, k2});
+  };
+  EXPECT_EQ(v(1, 0, 0), 1 * 4 * 2);
+  EXPECT_EQ(v(0, 1, 0), 1 * 9 * 2);
+  EXPECT_EQ(v(0, 0, 1), 1 * 9 * 5);
+  EXPECT_EQ(v(2, 1, 0), 3 * 8 + 1 * 18);
+}
+
+TEST(VolumeModelTest, NoPartitionNoVolume) {
+  EXPECT_EQ(total_volume_elements({8, 4, 2}, {0, 0, 0}), 0);
+}
+
+TEST(VolumeModelTest, DimensionWeightMatchesDefinition) {
+  const std::vector<std::int64_t> sizes{8, 4, 2};
+  EXPECT_EQ(dimension_weight(sizes, 0), 4 * 2);
+  EXPECT_EQ(dimension_weight(sizes, 1), (1 + 8) * 2);
+  EXPECT_EQ(dimension_weight(sizes, 2), (1 + 8) * (1 + 4));
+}
+
+TEST(VolumeModelTest, DescendingSizesGiveAscendingWeights) {
+  // The structural reason Theorem 6 holds: with D0 >= D1 >= ... the
+  // weight sequence is non-decreasing, so the greedy splits big dims.
+  const std::vector<std::int64_t> sizes{64, 16, 8, 2};
+  for (int m = 1; m < 4; ++m) {
+    EXPECT_GE(dimension_weight(sizes, m), dimension_weight(sizes, m - 1));
+  }
+}
+
+TEST(VolumeModelTest, BadInputsThrow) {
+  EXPECT_THROW(total_volume_elements({}, {}), InvalidArgument);
+  EXPECT_THROW(total_volume_elements({4}, {1, 1}), InvalidArgument);
+  EXPECT_THROW(total_volume_elements({4, -1}, {0, 0}), InvalidArgument);
+  EXPECT_THROW(total_volume_elements({4, 4}, {0, -1}), InvalidArgument);
+  EXPECT_THROW(edge_volume_elements({4, 4}, {1, 1}, DimSet()),
+               InvalidArgument);
+  EXPECT_THROW(dimension_weight({4, 4}, 2), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cubist

@@ -1,0 +1,173 @@
+// Cross-module integration tests: the full pipeline the benches run,
+// at test-sized scale.
+#include <gtest/gtest.h>
+
+#include "cubist/cubist.h"
+
+namespace cubist {
+namespace {
+
+TEST(EndToEndTest, PaperPipelineSmallScale) {
+  // A miniature Figure-7 experiment: 4-D cube, 8 processors, three
+  // partitioning strategies; all must agree with the sequential cube and
+  // rank exactly as Theorem 3 predicts.
+  SparseSpec spec;
+  spec.sizes = {16, 16, 16, 16};
+  spec.density = 0.25;
+  spec.seed = 2003;
+  const BlockProvider provider = [&](int, const BlockRange& block) {
+    return generate_sparse_block(spec, block);
+  };
+  const CubeResult expected =
+      build_cube_sequential(generate_sparse_global(spec));
+
+  struct Option {
+    const char* name;
+    std::vector<int> splits;
+  };
+  const std::vector<Option> options{{"three-d", {1, 1, 1, 0}},
+                                    {"two-d", {2, 1, 0, 0}},
+                                    {"one-d", {3, 0, 0, 0}}};
+  std::vector<std::int64_t> volumes;
+  std::vector<double> seconds;
+  for (const Option& option : options) {
+    const ParallelCubeReport report = run_parallel_cube(
+        spec.sizes, option.splits, CostModel{}, provider, true);
+    EXPECT_EQ(compare_cubes(expected, *report.cube), "") << option.name;
+    EXPECT_EQ(report.construction_bytes,
+              total_volume_elements(spec.sizes, option.splits) *
+                  static_cast<std::int64_t>(sizeof(Value)))
+        << option.name;
+    volumes.push_back(report.construction_bytes);
+    seconds.push_back(report.construction_seconds);
+  }
+  // The paper's headline: more partitioned dimensions -> less volume ->
+  // faster simulated construction.
+  EXPECT_LT(volumes[0], volumes[1]);
+  EXPECT_LT(volumes[1], volumes[2]);
+  EXPECT_LT(seconds[0], seconds[1]);
+  EXPECT_LT(seconds[1], seconds[2]);
+}
+
+TEST(EndToEndTest, GreedyPartitionBeatsWorstInSimulatedTime) {
+  SparseSpec spec;
+  spec.sizes = {32, 16, 8, 8};  // worst grid splits the last dim 8 ways
+  spec.density = 0.2;
+  spec.seed = 11;
+  const BlockProvider provider = [&](int, const BlockRange& block) {
+    return generate_sparse_block(spec, block);
+  };
+  const auto best = greedy_partition(spec.sizes, 3);
+  const auto worst = worst_partition(spec.sizes, 3);
+  const auto best_report =
+      run_parallel_cube(spec.sizes, best, CostModel{}, provider, false);
+  const auto worst_report =
+      run_parallel_cube(spec.sizes, worst, CostModel{}, provider, false);
+  EXPECT_LT(best_report.construction_bytes, worst_report.construction_bytes);
+  EXPECT_LT(best_report.construction_seconds,
+            worst_report.construction_seconds);
+}
+
+TEST(EndToEndTest, SpeedupGrowsWithProcessors) {
+  // Simulated speedup must be positive and increase from p=2 to p=8
+  // (dominant first level is fully parallel).
+  SparseSpec spec;
+  spec.sizes = {32, 32, 16};
+  spec.density = 0.25;
+  spec.seed = 23;
+  const BlockProvider provider = [&](int, const BlockRange& block) {
+    return generate_sparse_block(spec, block);
+  };
+  BuildStats seq_stats;
+  build_cube_sequential(generate_sparse_global(spec), &seq_stats);
+  const CostModel model;
+  const double sequential_seconds =
+      model.seconds_for_scan(static_cast<double>(seq_stats.cells_scanned)) +
+      model.seconds_for_updates(static_cast<double>(seq_stats.updates));
+
+  double previous_seconds = sequential_seconds;
+  for (int log_p = 1; log_p <= 3; ++log_p) {
+    const auto splits = greedy_partition(spec.sizes, log_p);
+    const auto report =
+        run_parallel_cube(spec.sizes, splits, model, provider, false);
+    EXPECT_LT(report.construction_seconds, previous_seconds)
+        << "p=" << (1 << log_p);
+    previous_seconds = report.construction_seconds;
+  }
+  // And the p=8 speedup is meaningful (> 2x).
+  EXPECT_GT(sequential_seconds / previous_seconds, 2.0);
+}
+
+TEST(EndToEndTest, ZipfDataStillExact) {
+  SparseSpec spec;
+  spec.sizes = {16, 16, 8};
+  spec.density = 0.2;
+  spec.seed = 5;
+  spec.zipf_theta = 1.0;
+  const BlockProvider provider = [&](int, const BlockRange& block) {
+    return generate_sparse_block(spec, block);
+  };
+  const CubeResult expected =
+      build_cube_sequential(generate_sparse_global(spec));
+  const auto report = run_parallel_cube(spec.sizes, {1, 1, 1}, CostModel{},
+                                        provider, true);
+  EXPECT_EQ(compare_cubes(expected, *report.cube), "");
+}
+
+TEST(EndToEndTest, TiledAndParallelAndBaselinesAllAgree) {
+  SparseSpec spec;
+  spec.sizes = {16, 8, 8};
+  spec.density = 0.3;
+  spec.seed = 99;
+  const SparseArray root = generate_sparse_global(spec);
+  const CubeResult reference = reference_cube(root);
+
+  // Sequential Figure-3 builder.
+  EXPECT_EQ(compare_cubes(reference, build_cube_sequential(root)), "");
+  // Tiled extension.
+  TilingPlan plan;
+  plan.tile_extent = 4;
+  plan.num_tiles = 4;
+  EXPECT_EQ(compare_cubes(reference, build_cube_tiled(root, plan)), "");
+  // Baseline trees.
+  const CubeLattice lattice(spec.sizes);
+  EXPECT_EQ(compare_cubes(reference,
+                          build_cube_with_tree(
+                              root, SpanningTree::minimal_parent(lattice),
+                              ScanDiscipline::kPerChild)),
+            "");
+  // Parallel on 4 ranks.
+  const BlockProvider provider = [&](int, const BlockRange& block) {
+    return generate_sparse_block(spec, block);
+  };
+  const auto report = run_parallel_cube(spec.sizes, {1, 1, 0}, CostModel{},
+                                        provider, true);
+  EXPECT_EQ(compare_cubes(reference, *report.cube), "");
+}
+
+TEST(EndToEndTest, QueryInterfaceAnswersGroupBys) {
+  // The retail scenario from the paper's motivation: item x branch x time.
+  SparseSpec spec;
+  spec.sizes = {12, 6, 10};
+  spec.density = 0.5;
+  spec.seed = 1;
+  const SparseArray sales = generate_sparse_global(spec);
+  const CubeResult cube = build_cube_sequential(sales);
+
+  // "Sales of item 3 at branch 2 over all time" == sum over the raw data.
+  Value expected = 0;
+  sales.for_each_nonzero([&](const std::int64_t* idx, Value v) {
+    if (idx[0] == 3 && idx[1] == 2) expected += v;
+  });
+  EXPECT_EQ(cube.query(DimSet::of({0, 1}), {3, 2}), expected);
+
+  // "All sales at branch 4" via the branch view.
+  Value branch_total = 0;
+  sales.for_each_nonzero([&](const std::int64_t* idx, Value v) {
+    if (idx[1] == 4) branch_total += v;
+  });
+  EXPECT_EQ(cube.query(DimSet::of({1}), {4}), branch_total);
+}
+
+}  // namespace
+}  // namespace cubist

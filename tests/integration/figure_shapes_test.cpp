@@ -1,0 +1,114 @@
+// Miniature versions of the paper's figures as fast regression tests:
+// the qualitative conclusions (who wins, in what order) must hold at
+// test scale, independent of the bench harness.
+#include <gtest/gtest.h>
+
+#include "cubist/cubist.h"
+
+namespace cubist {
+namespace {
+
+CostModel cluster_model() {
+  CostModel model;
+  model.update_rate = 1.1e6;
+  model.scan_rate = 1.1e6;
+  model.latency = 1e-4;
+  model.overhead = 5e-6;
+  model.bandwidth = 20e6;
+  return model;
+}
+
+struct GridRun {
+  std::int64_t bytes;
+  double seconds;
+};
+
+GridRun run_grid(const SparseSpec& spec, const std::vector<int>& splits) {
+  const BlockProvider provider = [spec](int, const BlockRange& block) {
+    return generate_sparse_block(spec, block);
+  };
+  const ParallelCubeReport report = run_parallel_cube(
+      spec.sizes, splits, cluster_model(), provider, false);
+  return {report.construction_bytes, report.construction_seconds};
+}
+
+TEST(FigureShapesTest, Figure7OrderingHoldsAtEverySparsity) {
+  for (double density : {0.25, 0.10, 0.05}) {
+    SparseSpec spec;
+    spec.sizes = {16, 16, 16, 16};
+    spec.density = density;
+    spec.seed = 3;
+    const GridRun three_d = run_grid(spec, {1, 1, 1, 0});
+    const GridRun two_d = run_grid(spec, {2, 1, 0, 0});
+    const GridRun one_d = run_grid(spec, {3, 0, 0, 0});
+    EXPECT_LT(three_d.bytes, two_d.bytes) << density;
+    EXPECT_LT(two_d.bytes, one_d.bytes) << density;
+    EXPECT_LT(three_d.seconds, two_d.seconds) << density;
+    EXPECT_LT(two_d.seconds, one_d.seconds) << density;
+  }
+}
+
+TEST(FigureShapesTest, Figure9FiveWayOrderingHolds) {
+  SparseSpec spec;
+  spec.sizes = {16, 16, 16, 16};
+  spec.density = 0.10;
+  spec.seed = 5;
+  const std::vector<std::vector<int>> options{
+      {1, 1, 1, 1},  // four-dim
+      {2, 1, 1, 0},  // three-dim
+      {2, 2, 0, 0},  // two-dim (4x4)
+      {3, 1, 0, 0},  // two-dim (8x2)
+      {4, 0, 0, 0},  // one-dim
+  };
+  std::vector<GridRun> runs;
+  for (const auto& splits : options) {
+    runs.push_back(run_grid(spec, splits));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_LT(runs[i - 1].bytes, runs[i].bytes) << i;
+    EXPECT_LT(runs[i - 1].seconds, runs[i].seconds) << i;
+  }
+}
+
+TEST(FigureShapesTest, GapWidensAsSparsityDrops) {
+  // The paper's communication/computation argument: the relative 1-D
+  // penalty grows as the array gets sparser.
+  SparseSpec spec;
+  spec.sizes = {16, 16, 16, 16};
+  spec.seed = 7;
+  double previous_ratio = 0.0;
+  for (double density : {0.25, 0.10, 0.05}) {
+    spec.density = density;
+    const GridRun best = run_grid(spec, {1, 1, 1, 0});
+    const GridRun worst = run_grid(spec, {3, 0, 0, 0});
+    const double ratio = worst.seconds / best.seconds;
+    EXPECT_GT(ratio, previous_ratio) << density;
+    previous_ratio = ratio;
+  }
+}
+
+TEST(FigureShapesTest, SpeedupGrowsWithDatasetSize) {
+  // Figure 7 -> Figure 8: a larger dataset means a lower
+  // communication/computation ratio and a higher best-grid speedup.
+  const CostModel model = cluster_model();
+  double previous_speedup = 0.0;
+  for (std::int64_t extent : {12, 24}) {
+    SparseSpec spec;
+    spec.sizes = {extent, extent, extent, extent};
+    spec.density = 0.10;
+    spec.seed = 9;
+    BuildStats stats;
+    build_cube_sequential(generate_sparse_global(spec), &stats);
+    const double seq =
+        model.seconds_for_scan(static_cast<double>(stats.cells_scanned)) +
+        model.seconds_for_updates(static_cast<double>(stats.updates));
+    const GridRun parallel = run_grid(spec, {1, 1, 1, 0});
+    const double speedup = seq / parallel.seconds;
+    EXPECT_GT(speedup, previous_speedup) << extent;
+    previous_speedup = speedup;
+  }
+  EXPECT_GT(previous_speedup, 3.0);  // 8 ranks: meaningful parallelism
+}
+
+}  // namespace
+}  // namespace cubist

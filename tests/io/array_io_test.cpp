@@ -1,0 +1,129 @@
+#include "io/array_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/error.h"
+#include "io/generators.h"
+#include "test_util.h"
+
+namespace cubist {
+namespace {
+
+class ArrayIoTest : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) {
+    return ::testing::TempDir() + "cubist_io_" + name;
+  }
+  void TearDown() override {
+    for (const std::string& p : created_) {
+      std::remove(p.c_str());
+    }
+  }
+  std::string track(std::string p) {
+    created_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(ArrayIoTest, DenseRoundTrip) {
+  const DenseArray original = testing::random_dense({5, 4, 3}, 0.5, 7);
+  const std::string file = track(path("dense.bin"));
+  write_dense(original, file);
+  EXPECT_EQ(read_dense(file), original);
+}
+
+TEST_F(ArrayIoTest, DenseScalarRoundTrip) {
+  DenseArray scalar{Shape{std::vector<std::int64_t>{1}}};
+  scalar[0] = 3.5;
+  const std::string file = track(path("scalar.bin"));
+  write_dense(scalar, file);
+  EXPECT_EQ(read_dense(file), scalar);
+}
+
+TEST_F(ArrayIoTest, SparseRoundTrip) {
+  SparseSpec spec;
+  spec.sizes = {9, 7, 5};
+  spec.density = 0.3;
+  spec.seed = 3;
+  const SparseArray original = generate_sparse_global(spec);
+  const std::string file = track(path("sparse.bin"));
+  write_sparse(original, file);
+  const SparseArray loaded = read_sparse(file);
+  EXPECT_EQ(loaded.nnz(), original.nnz());
+  EXPECT_EQ(loaded.shape(), original.shape());
+  EXPECT_EQ(loaded.chunk_extents(), original.chunk_extents());
+  EXPECT_EQ(loaded.to_dense(), original.to_dense());
+}
+
+TEST_F(ArrayIoTest, EmptySparseRoundTrip) {
+  const SparseArray original{Shape{{4, 4}}, {2, 2}};
+  const std::string file = track(path("empty.bin"));
+  write_sparse(original, file);
+  EXPECT_EQ(read_sparse(file).nnz(), 0);
+}
+
+TEST_F(ArrayIoTest, WrongMagicRejected) {
+  const std::string file = track(path("magic.bin"));
+  {
+    std::ofstream out(file, std::ios::binary);
+    out << "NOPE nonsense";
+  }
+  EXPECT_THROW(read_dense(file), InvalidArgument);
+  EXPECT_THROW(read_sparse(file), InvalidArgument);
+}
+
+TEST_F(ArrayIoTest, CrossFormatMagicRejected) {
+  const DenseArray dense = testing::random_dense({4}, 0.5, 1);
+  const std::string file = track(path("cross.bin"));
+  write_dense(dense, file);
+  EXPECT_THROW(read_sparse(file), InvalidArgument);
+}
+
+TEST_F(ArrayIoTest, TruncatedFileRejected) {
+  const DenseArray dense = testing::random_dense({16, 16}, 0.5, 2);
+  const std::string file = track(path("trunc.bin"));
+  write_dense(dense, file);
+  // Chop the file in half.
+  std::ifstream in(file, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  out.close();
+  EXPECT_THROW(read_dense(file), InvalidArgument);
+}
+
+TEST_F(ArrayIoTest, MissingFileRejected) {
+  EXPECT_THROW(read_dense(path("does_not_exist.bin")), InvalidArgument);
+}
+
+TEST_F(ArrayIoTest, CsvExportHasHeaderAndOneRowPerCell) {
+  DenseArray view{Shape{{2, 2}}};
+  view.at({0, 1}) = 5.0;
+  const std::string file = track(path("view.csv"));
+  write_view_csv(view, {"item", "branch"}, file);
+  std::ifstream in(file);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0], "item,branch,value");
+  EXPECT_EQ(lines[2], "0,1,5");
+}
+
+TEST_F(ArrayIoTest, CsvHeaderRankValidated) {
+  DenseArray view{Shape{{2, 2}}};
+  EXPECT_THROW(write_view_csv(view, {"only_one"}, path("bad.csv")),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cubist

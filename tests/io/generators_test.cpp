@@ -1,0 +1,162 @@
+#include "io/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "minimpi/proc_grid.h"
+
+namespace cubist {
+namespace {
+
+SparseSpec spec_8x8x8(double density, std::uint64_t seed) {
+  SparseSpec spec;
+  spec.sizes = {8, 8, 8};
+  spec.density = density;
+  spec.seed = seed;
+  return spec;
+}
+
+TEST(GeneratorsTest, DefaultChunksClipToExtent) {
+  EXPECT_EQ(default_chunks({64, 8, 4}), (std::vector<std::int64_t>{16, 8, 4}));
+}
+
+TEST(GeneratorsTest, DensityIsApproximatelyHonored) {
+  for (double density : {0.05, 0.10, 0.25}) {
+    SparseSpec spec;
+    spec.sizes = {32, 32, 32};  // 32768 cells
+    spec.density = density;
+    spec.seed = 99;
+    const SparseArray array = generate_sparse_global(spec);
+    EXPECT_NEAR(array.density(), density, 0.02) << density;
+  }
+}
+
+TEST(GeneratorsTest, ExtremeDensities) {
+  SparseSpec spec = spec_8x8x8(0.0, 1);
+  EXPECT_EQ(generate_sparse_global(spec).nnz(), 0);
+  spec.density = 1.0;
+  EXPECT_EQ(generate_sparse_global(spec).nnz(), 512);
+}
+
+TEST(GeneratorsTest, ValuesAreSmallPositiveIntegers) {
+  const SparseArray array = generate_sparse_global(spec_8x8x8(0.5, 3));
+  array.for_each_nonzero([](const std::int64_t*, Value v) {
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 9.0);
+    EXPECT_EQ(v, static_cast<double>(static_cast<int>(v)));
+  });
+}
+
+TEST(GeneratorsTest, DeterministicInSeed) {
+  const SparseArray a = generate_sparse_global(spec_8x8x8(0.3, 5));
+  const SparseArray b = generate_sparse_global(spec_8x8x8(0.3, 5));
+  EXPECT_EQ(a.to_dense(), b.to_dense());
+  const SparseArray c = generate_sparse_global(spec_8x8x8(0.3, 6));
+  EXPECT_NE(a.to_dense(), c.to_dense());
+}
+
+TEST(GeneratorsTest, BlockGenerationIsPartitionInvariant) {
+  // The load-bearing property (DESIGN.md §2): generating per-block must
+  // reproduce exactly the global array, for every grid.
+  const SparseSpec spec = spec_8x8x8(0.25, 17);
+  const DenseArray global = generate_sparse_global(spec).to_dense();
+  for (const std::vector<int> splits :
+       {std::vector<int>{1, 1, 1}, std::vector<int>{3, 0, 0},
+        std::vector<int>{0, 2, 0}}) {
+    const ProcGrid grid(splits);
+    DenseArray reassembled{Shape{spec.sizes}};
+    for (int rank = 0; rank < grid.size(); ++rank) {
+      const BlockRange block = grid.block(rank, spec.sizes);
+      const DenseArray local = generate_sparse_block(spec, block).to_dense();
+      std::vector<std::int64_t> lidx(3);
+      std::vector<std::int64_t> gidx(3);
+      for (std::int64_t linear = 0; linear < local.size(); ++linear) {
+        local.shape().unravel(linear, lidx.data());
+        for (int d = 0; d < 3; ++d) {
+          gidx[d] = block.lo(d) + lidx[d];
+        }
+        reassembled[reassembled.shape().linear_index(gidx.data())] =
+            local[linear];
+      }
+    }
+    EXPECT_EQ(reassembled, global) << ProcGrid(splits).to_string();
+  }
+}
+
+TEST(GeneratorsTest, BlockExtentsMatchRequest) {
+  const SparseSpec spec = spec_8x8x8(0.5, 1);
+  const BlockRange block({2, 0, 4}, {6, 8, 8});
+  const SparseArray local = generate_sparse_block(spec, block);
+  EXPECT_EQ(local.shape().extents(), (std::vector<std::int64_t>{4, 8, 4}));
+}
+
+TEST(GeneratorsTest, ZipfSkewConcentratesMassAtLowCoordinates) {
+  SparseSpec spec;
+  spec.sizes = {64, 64};
+  spec.density = 0.2;
+  spec.seed = 11;
+  spec.zipf_theta = 1.2;
+  const SparseArray array = generate_sparse_global(spec);
+  // Count non-zeros in the low vs high quadrant of dimension 0.
+  std::int64_t low = 0;
+  std::int64_t high = 0;
+  array.for_each_nonzero([&](const std::int64_t* idx, Value) {
+    if (idx[0] < 16) ++low;
+    if (idx[0] >= 48) ++high;
+  });
+  EXPECT_GT(low, 3 * high);
+  // Expected overall density is still roughly honored.
+  EXPECT_NEAR(array.density(), 0.2, 0.05);
+}
+
+TEST(GeneratorsTest, ZipfIsAlsoPartitionInvariant) {
+  SparseSpec spec;
+  spec.sizes = {16, 16};
+  spec.density = 0.3;
+  spec.seed = 23;
+  spec.zipf_theta = 0.8;
+  const DenseArray global = generate_sparse_global(spec).to_dense();
+  const BlockRange half({8, 0}, {16, 16});
+  const DenseArray local = generate_sparse_block(spec, half).to_dense();
+  for (std::int64_t r = 0; r < 8; ++r) {
+    for (std::int64_t c = 0; c < 16; ++c) {
+      EXPECT_EQ(local.at({r, c}), global.at({r + 8, c}));
+    }
+  }
+}
+
+TEST(GeneratorsTest, GenerateDenseMatchesSparse) {
+  SparseSpec spec = spec_8x8x8(0.4, 29);
+  EXPECT_EQ(generate_dense(spec.sizes, spec.density, spec.seed),
+            generate_sparse_global(spec).to_dense());
+}
+
+TEST(GeneratorsTest, InvalidDensityRejected) {
+  SparseSpec spec = spec_8x8x8(1.5, 1);
+  EXPECT_THROW(generate_sparse_global(spec), InvalidArgument);
+  spec.density = -0.1;
+  EXPECT_THROW(generate_sparse_global(spec), InvalidArgument);
+}
+
+TEST(ExtractBlockTest, MatchesDirectGeneration) {
+  const SparseSpec spec = spec_8x8x8(0.3, 41);
+  const SparseArray global = generate_sparse_global(spec);
+  const BlockRange block({0, 4, 2}, {8, 8, 6});
+  const SparseArray extracted =
+      extract_block(global, block, default_chunks(block.extents()));
+  const SparseArray generated = generate_sparse_block(spec, block);
+  EXPECT_EQ(extracted.to_dense(), generated.to_dense());
+}
+
+TEST(ExtractBlockTest, WholeArrayExtractionIsIdentity) {
+  const SparseSpec spec = spec_8x8x8(0.3, 43);
+  const SparseArray global = generate_sparse_global(spec);
+  const BlockRange whole({0, 0, 0}, {8, 8, 8});
+  const SparseArray extracted =
+      extract_block(global, whole, {3, 3, 3});  // different chunking
+  EXPECT_EQ(extracted.to_dense(), global.to_dense());
+  EXPECT_EQ(extracted.nnz(), global.nnz());
+}
+
+}  // namespace
+}  // namespace cubist

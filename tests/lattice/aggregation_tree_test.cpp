@@ -1,0 +1,169 @@
+#include "lattice/aggregation_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "lattice/prefix_tree.h"
+
+namespace cubist {
+namespace {
+
+using Kind = ScheduleEvent::Kind;
+
+TEST(AggregationTreeTest, RootIsFullSet) {
+  EXPECT_EQ(AggregationTree(3).root(), DimSet::full(3));
+}
+
+TEST(AggregationTreeTest, Figure2AggregationTreeForN3) {
+  // Complement of the Figure 2(b) prefix tree: ABC -> {BC, AC, AB};
+  // BC -> {C, B}; AC -> {A}; AB leaf; C -> {all}; A, B leaves.
+  const AggregationTree tree(3);
+  EXPECT_EQ(tree.children(DimSet::full(3)),
+            (std::vector<DimSet>{DimSet::of({1, 2}), DimSet::of({0, 2}),
+                                 DimSet::of({0, 1})}));
+  EXPECT_EQ(tree.children(DimSet::of({1, 2})),
+            (std::vector<DimSet>{DimSet::of({2}), DimSet::of({1})}));
+  EXPECT_EQ(tree.children(DimSet::of({0, 2})),
+            (std::vector<DimSet>{DimSet::of({0})}));
+  EXPECT_TRUE(tree.children(DimSet::of({0, 1})).empty());
+  EXPECT_EQ(tree.children(DimSet::of({2})),
+            (std::vector<DimSet>{DimSet()}));
+  EXPECT_TRUE(tree.children(DimSet::of({0})).empty());
+  EXPECT_TRUE(tree.children(DimSet::of({1})).empty());
+  EXPECT_TRUE(tree.children(DimSet()).empty());
+}
+
+TEST(AggregationTreeTest, IsComplementOfPrefixTree) {
+  // Definition 3: X -> Y an edge of the prefix tree iff ~X -> ~Y an edge
+  // of the aggregation tree.
+  for (int n = 1; n <= 6; ++n) {
+    const PrefixTree prefix(n);
+    const AggregationTree agg(n);
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+      const DimSet x = DimSet::from_mask(mask);
+      const auto prefix_children = prefix.children(x);
+      const auto agg_children = agg.children(x.complement(n));
+      ASSERT_EQ(prefix_children.size(), agg_children.size());
+      for (std::size_t i = 0; i < prefix_children.size(); ++i) {
+        EXPECT_EQ(prefix_children[i].complement(n), agg_children[i]);
+      }
+    }
+  }
+}
+
+TEST(AggregationTreeTest, ParentReAddsLargestMissingDimension) {
+  const AggregationTree tree(4);
+  EXPECT_EQ(tree.parent(DimSet::of({0, 1})), DimSet::of({0, 1, 3}));
+  EXPECT_EQ(tree.aggregated_dim(DimSet::of({0, 1})), 3);
+  EXPECT_EQ(tree.parent(DimSet::of({0, 1, 2})), DimSet::full(4));
+  EXPECT_EQ(tree.parent(DimSet()), DimSet::of({3}));
+  EXPECT_THROW(tree.parent(DimSet::full(4)), InvalidArgument);
+}
+
+TEST(AggregationTreeTest, ParentChildConsistency) {
+  const AggregationTree tree(5);
+  for (std::uint32_t mask = 0; mask < (1u << 5); ++mask) {
+    const DimSet view = DimSet::from_mask(mask);
+    for (DimSet child : tree.children(view)) {
+      EXPECT_EQ(tree.parent(child), view) << child.to_string();
+    }
+  }
+}
+
+TEST(AggregationTreeTest, EveryViewReachableFromRoot) {
+  const int n = 5;
+  const AggregationTree tree(n);
+  std::set<DimSet> reached;
+  std::vector<DimSet> stack{tree.root()};
+  while (!stack.empty()) {
+    const DimSet view = stack.back();
+    stack.pop_back();
+    ASSERT_TRUE(reached.insert(view).second) << "revisited " << view.to_string();
+    for (DimSet child : tree.children(view)) {
+      stack.push_back(child);
+    }
+  }
+  EXPECT_EQ(reached.size(), std::size_t{1} << n);
+}
+
+TEST(AggregationTreeTest, ScheduleWritesEveryProperViewExactlyOnce) {
+  for (int n = 1; n <= 6; ++n) {
+    const AggregationTree tree(n);
+    std::map<DimSet, int> writes;
+    for (const ScheduleEvent& event : tree.schedule()) {
+      if (event.kind == Kind::kWriteBack) {
+        ++writes[event.view];
+      }
+    }
+    EXPECT_EQ(writes.size(), (std::size_t{1} << n) - 1) << "n=" << n;
+    for (const auto& [view, count] : writes) {
+      EXPECT_EQ(count, 1) << view.to_string();
+      EXPECT_NE(view, tree.root());
+    }
+  }
+}
+
+TEST(AggregationTreeTest, ScheduleComputesParentsBeforeChildren) {
+  const AggregationTree tree(4);
+  std::set<DimSet> computed{tree.root()};  // the input is given
+  std::set<DimSet> written;
+  for (const ScheduleEvent& event : tree.schedule()) {
+    if (event.kind == Kind::kComputeChildren) {
+      // The scanned view must itself be available and not yet written.
+      EXPECT_TRUE(computed.count(event.view)) << event.view.to_string();
+      EXPECT_FALSE(written.count(event.view)) << event.view.to_string();
+      for (DimSet child : tree.children(event.view)) {
+        computed.insert(child);
+      }
+    } else {
+      EXPECT_TRUE(computed.count(event.view)) << event.view.to_string();
+      EXPECT_TRUE(written.insert(event.view).second);
+    }
+  }
+}
+
+TEST(AggregationTreeTest, ScheduleIsRightToLeftDepthFirst) {
+  // Paper Figure 3 walkthrough for n=3: children of ABC are (BC, AC, AB)
+  // left to right; traversal starts with the right-most (AB), which is a
+  // leaf and is written back first.
+  const AggregationTree tree(3);
+  const auto schedule = tree.schedule();
+  ASSERT_GE(schedule.size(), 2u);
+  EXPECT_EQ(schedule[0],
+            (ScheduleEvent{Kind::kComputeChildren, DimSet::full(3)}));
+  EXPECT_EQ(schedule[1], (ScheduleEvent{Kind::kWriteBack, DimSet::of({0, 1})}));
+}
+
+TEST(AggregationTreeTest, CompletionOrderForN3MatchesHandTrace) {
+  // Evaluate(ABC): children BC,AC,AB; rtl: AB leaf -> write;
+  // Evaluate(AC): child A; A leaf -> write; write AC;
+  // Evaluate(BC): children C,B; rtl: B leaf -> write;
+  // Evaluate(C): child all -> write; write C; write BC.
+  const AggregationTree tree(3);
+  const std::vector<DimSet> expected{
+      DimSet::of({0, 1}),  // AB
+      DimSet::of({0}),     // A
+      DimSet::of({0, 2}),  // AC
+      DimSet::of({1}),     // B
+      DimSet(),            // all
+      DimSet::of({2}),     // C
+      DimSet::of({1, 2}),  // BC
+  };
+  EXPECT_EQ(tree.completion_order(), expected);
+}
+
+TEST(AggregationTreeTest, LeafViewsAreExactlyPrefixLeaves) {
+  const int n = 4;
+  const AggregationTree tree(n);
+  const PrefixTree prefix(n);
+  for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+    const DimSet view = DimSet::from_mask(mask);
+    EXPECT_EQ(tree.is_leaf(view),
+              prefix.children(view.complement(n)).empty());
+  }
+}
+
+}  // namespace
+}  // namespace cubist

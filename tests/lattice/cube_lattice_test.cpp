@@ -1,0 +1,114 @@
+#include "lattice/cube_lattice.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cubist {
+namespace {
+
+TEST(CubeLatticeTest, NumViewsIsTwoToTheN) {
+  EXPECT_EQ(CubeLattice({4}).num_views(), 2);
+  EXPECT_EQ(CubeLattice({4, 3}).num_views(), 4);
+  EXPECT_EQ(CubeLattice({4, 3, 2, 5}).num_views(), 16);
+}
+
+TEST(CubeLatticeTest, AllViewsEnumeratesPowerSetRootFirst) {
+  const CubeLattice lattice({4, 3, 2});
+  const std::vector<DimSet> views = lattice.all_views();
+  ASSERT_EQ(views.size(), 8u);
+  EXPECT_EQ(views.front(), DimSet::full(3));
+  EXPECT_EQ(views.back(), DimSet());
+  std::set<DimSet> unique(views.begin(), views.end());
+  EXPECT_EQ(unique.size(), 8u);
+  // Dimensionality is non-increasing along the enumeration.
+  for (std::size_t i = 1; i < views.size(); ++i) {
+    EXPECT_GE(views[i - 1].size(), views[i].size());
+  }
+}
+
+TEST(CubeLatticeTest, ViewCellsIsProductOfRetainedExtents) {
+  const CubeLattice lattice({4, 3, 2});
+  EXPECT_EQ(lattice.view_cells(DimSet::full(3)), 24);
+  EXPECT_EQ(lattice.view_cells(DimSet::of({0, 1})), 12);
+  EXPECT_EQ(lattice.view_cells(DimSet::of({0, 2})), 8);
+  EXPECT_EQ(lattice.view_cells(DimSet::of({1, 2})), 6);
+  EXPECT_EQ(lattice.view_cells(DimSet::of({2})), 2);
+  EXPECT_EQ(lattice.view_cells(DimSet()), 1);  // the `all` scalar
+}
+
+TEST(CubeLatticeTest, ParentsAreImmediateSupersets) {
+  const CubeLattice lattice({4, 3, 2});
+  const auto parents = lattice.parents(DimSet::of({1}));
+  EXPECT_EQ(parents.size(), 2u);
+  for (DimSet p : parents) {
+    EXPECT_EQ(p.size(), 2);
+    EXPECT_TRUE(DimSet::of({1}).is_subset_of(p));
+  }
+  EXPECT_TRUE(lattice.parents(DimSet::full(3)).empty());
+}
+
+TEST(CubeLatticeTest, ChildrenAreImmediateSubsets) {
+  const CubeLattice lattice({4, 3, 2});
+  const auto children = lattice.children(DimSet::of({0, 2}));
+  EXPECT_EQ(children.size(), 2u);
+  EXPECT_TRUE(lattice.children(DimSet()).empty());
+}
+
+TEST(CubeLatticeTest, LatticeEdgeCountMatchesFormula) {
+  // Each view with k dims has k children: total edges = n * 2^(n-1).
+  const int n = 4;
+  const CubeLattice lattice({5, 4, 3, 2});
+  std::size_t edges = 0;
+  for (DimSet view : lattice.all_views()) {
+    edges += lattice.children(view).size();
+  }
+  EXPECT_EQ(edges, static_cast<std::size_t>(n) << (n - 1));
+}
+
+TEST(CubeLatticeTest, MinimalParentAddsSmallestMissingDimension) {
+  // Paper's example: sizes |A| >= |B| >= |C|; minimal parent of A is AC
+  // (aggregate along the smallest dimension C).
+  const CubeLattice lattice({8, 4, 2});
+  EXPECT_EQ(lattice.minimal_parent(DimSet::of({0})), DimSet::of({0, 2}));
+  EXPECT_EQ(lattice.minimal_parent(DimSet::of({1})), DimSet::of({1, 2}));
+  EXPECT_EQ(lattice.minimal_parent(DimSet::of({2})), DimSet::of({1, 2}));
+  EXPECT_EQ(lattice.minimal_parent(DimSet()), DimSet::of({2}));
+}
+
+TEST(CubeLatticeTest, MinimalParentTieBreaksTowardLargestIndex) {
+  const CubeLattice lattice({4, 4, 4});
+  // All candidates cost the same; the aggregation-tree convention picks
+  // the largest dimension index.
+  EXPECT_EQ(lattice.minimal_parent(DimSet::of({0})), DimSet::of({0, 2}));
+  EXPECT_EQ(lattice.minimal_parent(DimSet()), DimSet::of({2}));
+}
+
+TEST(CubeLatticeTest, MinimalParentOfRootThrows) {
+  const CubeLattice lattice({4, 3});
+  EXPECT_THROW(lattice.minimal_parent(DimSet::full(2)), InvalidArgument);
+}
+
+TEST(CubeLatticeTest, ComputeCostIsParentSize) {
+  const CubeLattice lattice({4, 3, 2});
+  EXPECT_EQ(lattice.compute_cost(DimSet::of({0}), DimSet::of({0, 1})), 12);
+  EXPECT_EQ(lattice.compute_cost(DimSet::of({0}), DimSet::of({0, 2})), 8);
+  EXPECT_THROW(lattice.compute_cost(DimSet::of({0}), DimSet::full(3)),
+               InvalidArgument);
+}
+
+TEST(CubeLatticeTest, MinimalParentMinimizesComputeCostExhaustively) {
+  const CubeLattice lattice({7, 5, 5, 2});
+  for (DimSet view : lattice.all_views()) {
+    if (view == DimSet::full(4)) continue;
+    const DimSet chosen = lattice.minimal_parent(view);
+    for (DimSet candidate : lattice.parents(view)) {
+      EXPECT_LE(lattice.compute_cost(view, chosen),
+                lattice.compute_cost(view, candidate))
+          << view.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cubist

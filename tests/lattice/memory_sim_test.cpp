@@ -1,0 +1,99 @@
+#include "lattice/memory_sim.h"
+
+#include "array/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace cubist {
+namespace {
+
+constexpr std::int64_t kCell = sizeof(Value);
+
+TEST(MemoryLedgerTest, TracksLiveAndPeak) {
+  MemoryLedger ledger;
+  ledger.alloc(100);
+  ledger.alloc(50);
+  EXPECT_EQ(ledger.live_bytes(), 150);
+  EXPECT_EQ(ledger.peak_bytes(), 150);
+  ledger.release(100);
+  EXPECT_EQ(ledger.live_bytes(), 50);
+  EXPECT_EQ(ledger.peak_bytes(), 150);
+  ledger.alloc(20);
+  EXPECT_EQ(ledger.peak_bytes(), 150);  // never exceeded the old peak
+}
+
+TEST(SequentialMemoryBoundTest, MatchesClosedFormForThreeDims) {
+  // Theorem 1: bound = |AB| + |AC| + |BC| = D0*D1 + D0*D2 + D1*D2.
+  const CubeLattice lattice({8, 4, 2});
+  EXPECT_EQ(sequential_memory_bound(lattice, kCell),
+            (8 * 4 + 8 * 2 + 4 * 2) * kCell);
+}
+
+TEST(SequentialMemoryBoundTest, SingleDimension) {
+  // n=1: the only first-level child is the scalar `all`.
+  const CubeLattice lattice({100});
+  EXPECT_EQ(sequential_memory_bound(lattice, kCell), kCell);
+}
+
+TEST(MemorySimTest, ScheduleRespectsTheorem1Bound) {
+  // The Figure-3 replay must stay within the bound for any sizes,
+  // ordered or not (the bound derivation never uses the ordering).
+  const std::vector<std::vector<std::int64_t>> cases = {
+      {8, 4, 2}, {2, 4, 8}, {5, 5, 5}, {16, 8, 4, 2}, {3, 9, 27, 3}, {7},
+      {9, 3}, {6, 6, 6, 6, 6}};
+  for (const auto& sizes : cases) {
+    const CubeLattice lattice(sizes);
+    const AggregationTree tree(static_cast<int>(sizes.size()));
+    const auto schedule = tree.schedule();
+    const MemorySimResult result =
+        simulate_aggregation_schedule(lattice, tree, schedule, kCell);
+    EXPECT_LE(result.peak_bytes, sequential_memory_bound(lattice, kCell))
+        << "sizes " << CubeLattice(sizes).sizes().size();
+  }
+}
+
+TEST(MemorySimTest, PeakEqualsBoundAtFirstLevel) {
+  // Theorem 2 tightness: right after the root scan, all n first-level
+  // children are live simultaneously, so the peak equals the bound.
+  for (const auto& sizes : std::vector<std::vector<std::int64_t>>{
+           {8, 4, 2}, {16, 16, 16}, {9, 7, 5, 3}}) {
+    const CubeLattice lattice(sizes);
+    const AggregationTree tree(static_cast<int>(sizes.size()));
+    const MemorySimResult result = simulate_aggregation_schedule(
+        lattice, tree, tree.schedule(), kCell);
+    EXPECT_EQ(result.peak_bytes, sequential_memory_bound(lattice, kCell));
+  }
+}
+
+TEST(MemorySimTest, WrittenBytesCoverEveryProperView) {
+  const CubeLattice lattice({8, 4, 2});
+  const AggregationTree tree(3);
+  const MemorySimResult result =
+      simulate_aggregation_schedule(lattice, tree, tree.schedule(), kCell);
+  std::int64_t expected = 0;
+  for (DimSet view : lattice.all_views()) {
+    if (view != DimSet::full(3)) {
+      expected += lattice.view_cells(view) * kCell;
+    }
+  }
+  EXPECT_EQ(result.written_bytes, expected);
+}
+
+TEST(ParallelMemoryBoundTest, PartitioningDividesTheBound) {
+  // Theorem 4 with divisible sizes: splitting dim d by 2^{k_d} divides
+  // each term by the product of splits of its retained dims.
+  const CubeLattice lattice({8, 8, 8});
+  const std::int64_t unsplit =
+      parallel_memory_bound(lattice, {0, 0, 0}, kCell);
+  EXPECT_EQ(unsplit, sequential_memory_bound(lattice, kCell));
+  // Split every dim in half: every 2-dim term shrinks by 4.
+  EXPECT_EQ(parallel_memory_bound(lattice, {1, 1, 1}, kCell), unsplit / 4);
+}
+
+TEST(ParallelMemoryBoundTest, RankMismatchThrows) {
+  const CubeLattice lattice({8, 8});
+  EXPECT_THROW(parallel_memory_bound(lattice, {1}, kCell), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cubist

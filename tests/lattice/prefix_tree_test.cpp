@@ -1,0 +1,85 @@
+#include "lattice/prefix_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cubist {
+namespace {
+
+TEST(PrefixTreeTest, RootIsEmptySetWithAllSingletons) {
+  const PrefixTree tree(3);
+  EXPECT_EQ(tree.root(), DimSet());
+  const auto children = tree.children(tree.root());
+  ASSERT_EQ(children.size(), 3u);
+  EXPECT_EQ(children[0], DimSet::of({0}));
+  EXPECT_EQ(children[1], DimSet::of({1}));
+  EXPECT_EQ(children[2], DimSet::of({2}));
+}
+
+TEST(PrefixTreeTest, ChildrenAppendOnlyLargerElements) {
+  // Definition 2: node {x1..xm} has children {x1..xm, j} for j > xm.
+  const PrefixTree tree(4);
+  const auto children = tree.children(DimSet::of({1}));
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0], DimSet::of({1, 2}));
+  EXPECT_EQ(children[1], DimSet::of({1, 3}));
+  EXPECT_TRUE(tree.children(DimSet::of({3})).empty());
+  EXPECT_TRUE(tree.children(DimSet::of({0, 3})).empty());
+}
+
+TEST(PrefixTreeTest, Figure2PrefixTreeForN3) {
+  // The paper's Figure 2(b), 0-indexed: {0} -> {0,1},{0,2};
+  // {1} -> {1,2}; {2} leaf; {0,1} -> {0,1,2}.
+  const PrefixTree tree(3);
+  EXPECT_EQ(tree.children(DimSet::of({0})),
+            (std::vector<DimSet>{DimSet::of({0, 1}), DimSet::of({0, 2})}));
+  EXPECT_EQ(tree.children(DimSet::of({1})),
+            (std::vector<DimSet>{DimSet::of({1, 2})}));
+  EXPECT_EQ(tree.children(DimSet::of({0, 1})),
+            (std::vector<DimSet>{DimSet::of({0, 1, 2})}));
+  EXPECT_TRUE(tree.children(DimSet::of({0, 1, 2})).empty());
+}
+
+TEST(PrefixTreeTest, ParentRemovesMaximum) {
+  const PrefixTree tree(4);
+  EXPECT_EQ(tree.parent(DimSet::of({0, 2, 3})), DimSet::of({0, 2}));
+  EXPECT_EQ(tree.parent(DimSet::of({1})), DimSet());
+  EXPECT_THROW(tree.parent(DimSet()), InvalidArgument);
+}
+
+TEST(PrefixTreeTest, ParentChildConsistency) {
+  const PrefixTree tree(5);
+  for (std::uint32_t mask = 0; mask < (1u << 5); ++mask) {
+    const DimSet node = DimSet::from_mask(mask);
+    for (DimSet child : tree.children(node)) {
+      EXPECT_EQ(tree.parent(child), node);
+      EXPECT_EQ(tree.added_element(child), child.max_dim());
+    }
+  }
+}
+
+TEST(PrefixTreeTest, PreorderSpansThePowerSetExactlyOnce) {
+  for (int n = 1; n <= 6; ++n) {
+    const PrefixTree tree(n);
+    const auto nodes = tree.preorder();
+    EXPECT_EQ(nodes.size(), std::size_t{1} << n);
+    std::set<DimSet> unique(nodes.begin(), nodes.end());
+    EXPECT_EQ(unique.size(), std::size_t{1} << n) << "n=" << n;
+    EXPECT_EQ(nodes.front(), DimSet());
+  }
+}
+
+TEST(PrefixTreeTest, ChildCountMatchesDefinition) {
+  // A node with max element m has n-1-m children (0-indexed).
+  const int n = 6;
+  const PrefixTree tree(n);
+  for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+    const DimSet node = DimSet::from_mask(mask);
+    EXPECT_EQ(static_cast<int>(tree.children(node).size()),
+              n - 1 - node.max_dim());
+  }
+}
+
+}  // namespace
+}  // namespace cubist

@@ -1,0 +1,37 @@
+// Shared helpers for the cubist test suite.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "array/dense_array.h"
+#include "array/sparse_array.h"
+#include "common/rng.h"
+
+namespace cubist::testing {
+
+/// Dense array with the given extents, filled with small random integers
+/// (0..9, zero with probability 1 - density). Deterministic in `seed`.
+inline DenseArray random_dense(const std::vector<std::int64_t>& extents,
+                               double density, std::uint64_t seed) {
+  DenseArray array{Shape{extents}};
+  Xoshiro256ss rng(seed);
+  for (std::int64_t i = 0; i < array.size(); ++i) {
+    if (rng.next_double() < density) {
+      array[i] = static_cast<Value>(1 + rng.next_below(9));
+    }
+  }
+  return array;
+}
+
+/// Dense array whose cell values equal their linear index + 1 (handy for
+/// checking exact placements).
+inline DenseArray iota_dense(const std::vector<std::int64_t>& extents) {
+  DenseArray array{Shape{extents}};
+  for (std::int64_t i = 0; i < array.size(); ++i) {
+    array[i] = static_cast<Value>(i + 1);
+  }
+  return array;
+}
+
+}  // namespace cubist::testing
