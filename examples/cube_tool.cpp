@@ -2,11 +2,11 @@
 // generate a dataset to disk, build its cube (each view saved to a
 // directory), and query saved views.
 //
-//   $ ./examples/cube_tool --mode=generate --file=/tmp/sales.cbsp \
+//   $ ./examples/cube_tool --mode=generate --file=/tmp/sales.cbsp
 //         --sizes=64x32x16 --density=0.1
-//   $ ./examples/cube_tool --mode=build --file=/tmp/sales.cbsp \
+//   $ ./examples/cube_tool --mode=build --file=/tmp/sales.cbsp
 //         --out=/tmp/cube
-//   $ ./examples/cube_tool --mode=query --out=/tmp/cube --view=0,2 \
+//   $ ./examples/cube_tool --mode=query --out=/tmp/cube --view=0,2
 //         --coords=5,3
 //   $ ./examples/cube_tool --mode=info --file=/tmp/sales.cbsp
 #include <cstdio>

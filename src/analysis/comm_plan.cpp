@@ -1,0 +1,164 @@
+#include "analysis/comm_plan.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "lattice/aggregation_tree.h"
+#include "minimpi/proc_grid.h"
+
+namespace cubist {
+namespace {
+
+/// Symbolically executes one rank's Figure-5 program (the control flow of
+/// RankBuilder in core/parallel_builder.cpp), emitting planned operations
+/// instead of touching data. Any drift between this walk and the real
+/// builder shows up as a ledger-audit failure, which is the point: the
+/// plan is the checkable artifact, the builder is the implementation.
+class RankPlanner {
+ public:
+  RankPlanner(const ScheduleSpec& spec, const ProcGrid& grid,
+              const AggregationTree& tree, int rank)
+      : spec_(spec),
+        grid_(grid),
+        tree_(tree),
+        rank_(rank),
+        block_(grid.block(rank, spec.sizes)) {}
+
+  RankPlan run(std::map<std::uint32_t, std::int64_t>& elements_by_view) {
+    elements_by_view_ = &elements_by_view;
+    compute_children(tree_.root());
+    descend(tree_.root());
+    return std::move(plan_);
+  }
+
+ private:
+  /// Cells of this rank's block of `view` (the root block restricted to
+  /// the retained dimensions; each aggregation removes one dimension).
+  std::int64_t view_cells(DimSet view) const {
+    std::int64_t cells = 1;
+    for (int d : view.dims()) cells *= block_.extent(d);
+    return cells;
+  }
+
+  std::int64_t view_bytes(DimSet view) const {
+    return view_cells(view) * spec_.bytes_per_cell;
+  }
+
+  void compute_children(DimSet view) {
+    for (DimSet child : tree_.children(view)) {
+      plan_.memory.push_back({PlannedMemoryEvent::Kind::kAlloc, child.mask(),
+                              view_bytes(child)});
+    }
+  }
+
+  void descend(DimSet view) {
+    const std::vector<DimSet> kids = tree_.children(view);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      const DimSet child = *it;
+      const int aggregated = view.minus(child).min_dim();
+      const std::vector<int> group = grid_.axis_group(rank_, aggregated);
+      if (group.size() > 1) {
+        plan_reduce(group, child);
+      }
+      if (grid_.is_lead(rank_, aggregated)) {
+        if (tree_.is_leaf(child)) {
+          write_back(child);
+        } else {
+          compute_children(child);
+          descend(child);
+          write_back(child);
+        }
+      } else {
+        plan_.memory.push_back({PlannedMemoryEvent::Kind::kRelease,
+                                child.mask(), view_bytes(child)});
+      }
+    }
+  }
+
+  /// The binomial-tree reduction of Comm::reduce, as planned operations:
+  /// in round `step`, members with the bit set ship their partial (in
+  /// cap-sized pieces) to the member `step` below and drop out.
+  void plan_reduce(const std::vector<int>& group, DimSet child) {
+    const int g = static_cast<int>(group.size());
+    int me = -1;
+    for (int i = 0; i < g; ++i) {
+      if (group[i] == rank_) me = i;
+    }
+    CUBIST_ASSERT(me >= 0, "rank not in its own axis group");
+    const std::int64_t total = view_cells(child);
+    const std::int64_t piece = spec_.reduce_message_elements == 0
+                                   ? total
+                                   : spec_.reduce_message_elements;
+    for (int step = 1; step < g; step <<= 1) {
+      if ((me & step) != 0) {
+        for (std::int64_t offset = 0; offset < total; offset += piece) {
+          const std::int64_t count = std::min(piece, total - offset);
+          plan_.ops.push_back({PlannedOp::Kind::kSend, group[me - step],
+                               child.mask(), count});
+          (*elements_by_view_)[child.mask()] += count;
+        }
+        return;
+      }
+      if (me + step < g) {
+        for (std::int64_t offset = 0; offset < total; offset += piece) {
+          const std::int64_t count = std::min(piece, total - offset);
+          plan_.ops.push_back({PlannedOp::Kind::kRecv, group[me + step],
+                               child.mask(), count});
+        }
+      }
+    }
+  }
+
+  void write_back(DimSet view) {
+    plan_.memory.push_back(
+        {PlannedMemoryEvent::Kind::kRelease, view.mask(), view_bytes(view)});
+    plan_.final_views.push_back(view.mask());
+  }
+
+  const ScheduleSpec& spec_;
+  const ProcGrid& grid_;
+  const AggregationTree& tree_;
+  int rank_;
+  BlockRange block_;
+  RankPlan plan_;
+  std::map<std::uint32_t, std::int64_t>* elements_by_view_ = nullptr;
+};
+
+}  // namespace
+
+std::int64_t CommPlan::total_elements() const {
+  std::int64_t total = 0;
+  for (const auto& [view, elements] : elements_by_view) total += elements;
+  return total;
+}
+
+std::int64_t CommPlan::total_messages() const {
+  std::int64_t messages = 0;
+  for (const RankPlan& rank : ranks) {
+    for (const PlannedOp& op : rank.ops) {
+      if (op.kind == PlannedOp::Kind::kSend) ++messages;
+    }
+  }
+  return messages;
+}
+
+CommPlan build_comm_plan(const ScheduleSpec& spec) {
+  CUBIST_CHECK(!spec.sizes.empty() &&
+                   spec.sizes.size() == spec.log_splits.size(),
+               "sizes/log_splits rank mismatch");
+  CUBIST_CHECK(spec.reduce_message_elements >= 0,
+               "negative reduction message cap");
+  CUBIST_CHECK(spec.bytes_per_cell > 0, "bytes_per_cell must be positive");
+  const ProcGrid grid(spec.log_splits);
+  const AggregationTree tree(grid.ndims());
+  CommPlan plan;
+  plan.num_ranks = grid.size();
+  plan.ranks.reserve(static_cast<std::size_t>(grid.size()));
+  for (int rank = 0; rank < grid.size(); ++rank) {
+    RankPlanner planner(spec, grid, tree, rank);
+    plan.ranks.push_back(planner.run(plan.elements_by_view));
+  }
+  return plan;
+}
+
+}  // namespace cubist

@@ -1,0 +1,87 @@
+// Static communication plan for the Figure-5 parallel schedule.
+//
+// `build_comm_plan` symbolically executes the per-rank SPMD program of
+// `build_cube_parallel_rank` — the aggregation-tree walk, the binomial
+// reductions onto the lead processors, the write-backs and discards —
+// without touching any data. The result is, per rank, the exact ordered
+// list of planned sends/receives (peer, view tag, payload elements) and
+// the exact ordered list of view-block allocations/releases. The schedule
+// verifier checks this plan against the paper's closed forms (Lemma 1,
+// Theorems 3 and 4) and proves it deadlock-free; the post-run auditor
+// diffs the runtime's VolumeLedger against it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "array/shape.h"
+#include "common/dimset.h"
+
+namespace cubist {
+
+/// The inputs that determine a parallel construction schedule: the global
+/// extents, the processor grid exponents (dimension d split 2^{k_d} ways)
+/// and the message-size cap of the reductions. Mirrors the arguments of
+/// `run_parallel_cube` / `ParallelOptions`.
+struct ScheduleSpec {
+  std::vector<std::int64_t> sizes;
+  std::vector<int> log_splits;
+  /// Cap on elements per reduction message (0 = whole block per message),
+  /// as in ParallelOptions::reduce_message_elements. Changes message
+  /// counts, never volumes.
+  std::int64_t reduce_message_elements = 0;
+  /// Bytes per array cell (sizeof(Value) for the real builders).
+  std::int64_t bytes_per_cell = static_cast<std::int64_t>(sizeof(Value));
+};
+
+/// One planned point-to-point operation of a rank, in program order.
+struct PlannedOp {
+  enum class Kind { kSend, kRecv };
+  Kind kind = Kind::kSend;
+  /// Destination rank for sends, source rank for receives.
+  int peer = -1;
+  /// Message tag = target view's dimension mask.
+  std::uint32_t view = 0;
+  /// Payload size in array elements.
+  std::int64_t elements = 0;
+
+  bool operator==(const PlannedOp&) const = default;
+};
+
+/// One planned view-block lifetime transition of a rank, in program order.
+struct PlannedMemoryEvent {
+  enum class Kind { kAlloc, kRelease };
+  Kind kind = Kind::kAlloc;
+  std::uint32_t view = 0;
+  std::int64_t bytes = 0;
+
+  bool operator==(const PlannedMemoryEvent&) const = default;
+};
+
+/// Everything one rank plans to do, in program order.
+struct RankPlan {
+  std::vector<PlannedOp> ops;
+  std::vector<PlannedMemoryEvent> memory;
+  /// Views this rank writes back as final results (it is their lead).
+  std::vector<std::uint32_t> final_views;
+};
+
+/// The full static plan over the processor grid.
+struct CommPlan {
+  int num_ranks = 0;
+  std::vector<RankPlan> ranks;
+  /// Planned reduction volume per view (sum of send payloads under the
+  /// view's tag) — the static counterpart of the runtime ledger. A derived
+  /// summary: verify_schedule recomputes volumes from `ranks[].ops`, so
+  /// mutating the ops does not require keeping this map in sync.
+  std::map<std::uint32_t, std::int64_t> elements_by_view;
+
+  std::int64_t total_elements() const;
+  std::int64_t total_messages() const;
+};
+
+/// Builds the exact plan the parallel builder will execute for `spec`.
+CommPlan build_comm_plan(const ScheduleSpec& spec);
+
+}  // namespace cubist

@@ -1,0 +1,112 @@
+// Schedule verifier: proves the paper's guarantees about a planned
+// parallel construction *before* executing it, and audits the runtime's
+// measured communication against the plan afterwards.
+//
+// Checked invariants (see docs/ANALYSIS.md):
+//   * Transport safety — every planned send is consumed by exactly one
+//     matching receive, payload sizes agree, and the schedule is
+//     deadlock-free. Sends in minimpi never block, so the only hazard is
+//     a receive cycle; the verifier replays the per-rank programs and, on
+//     a stall, extracts the wait-for-graph cycle for the diagnostic.
+//   * Communication volume — per-edge planned volume equals Lemma 1's
+//     closed form (2^{k_m} - 1) * prod_{j notin Y} D_j, and the total
+//     equals Theorem 3's sum. Exact, not approximate: uneven balanced
+//     splits cancel when summing over reduction groups.
+//   * Memory — replaying each rank's view-block lifetimes never exceeds
+//     Theorem 4's per-processor bound sum_i prod_{j != i} ceil(D_j /
+//     2^{k_j}) and leaks nothing.
+//   * Placement — every non-root view is finalized on exactly the lead
+//     processors of its aggregated dimension set.
+//
+// All results are collected in a machine-readable AnalysisReport; the
+// parallel driver turns a non-empty report into a hard InternalError.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/comm_plan.h"
+
+namespace cubist {
+
+enum class ViolationCode {
+  /// A planned send whose payload no receive ever consumes.
+  kUnmatchedSend,
+  /// A planned receive for which no matching send exists.
+  kUnmatchedRecv,
+  /// A wait-for cycle among blocked receivers.
+  kDeadlock,
+  /// Matched (source, tag) stream but the payload size disagrees.
+  kMessageSizeMismatch,
+  /// Planned per-edge volume differs from Lemma 1's closed form.
+  kEdgeVolumeMismatch,
+  /// Planned total volume differs from Theorem 3's closed form.
+  kTotalVolumeMismatch,
+  /// A rank's peak live view-block bytes exceed the Theorem 4 bound.
+  kMemoryBoundExceeded,
+  /// A rank ends the schedule with live view blocks.
+  kMemoryLeak,
+  /// A view finalized on a non-lead rank, or never finalized on a lead.
+  kWrongLead,
+  /// Measured ledger bytes for a view differ from the static plan.
+  kLedgerVolumeMismatch,
+  /// Traffic planned or measured under a tag that is no lattice view.
+  kUnknownViewTag,
+};
+
+const char* to_string(ViolationCode code);
+
+/// Sentinel for violations not tied to a view or rank.
+inline constexpr std::uint32_t kNoView = 0xffffffffu;
+inline constexpr int kNoRank = -1;
+
+/// One diagnostic: what invariant broke, where, and by how much.
+struct Violation {
+  ViolationCode code = ViolationCode::kUnmatchedSend;
+  int rank = kNoRank;
+  std::uint32_t view_mask = kNoView;
+  std::int64_t expected = 0;
+  std::int64_t actual = 0;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Machine-readable verification/audit result.
+struct AnalysisReport {
+  std::vector<Violation> violations;
+
+  // Summary of what was certified (filled in even when violations exist).
+  std::int64_t planned_total_elements = 0;
+  /// Theorem 3's closed-form total.
+  std::int64_t predicted_total_elements = 0;
+  std::int64_t planned_messages = 0;
+  /// Max over ranks of simulated peak live view-block bytes.
+  std::int64_t max_peak_live_bytes = 0;
+  /// Theorem 4's per-processor bound in bytes.
+  std::int64_t memory_bound_bytes = 0;
+
+  bool ok() const { return violations.empty(); }
+  /// Human-readable multi-line rendering (one violation per line).
+  std::string to_string() const;
+  /// JSON rendering for tooling.
+  std::string to_json() const;
+};
+
+/// Verifies `plan` against the paper's invariants for `spec`. The plan is
+/// a parameter (rather than always derived) so tests can mutate a good
+/// plan and check the diagnostics.
+AnalysisReport verify_schedule(const ScheduleSpec& spec, const CommPlan& plan);
+
+/// Builds the plan for `spec` and verifies it.
+AnalysisReport verify_schedule(const ScheduleSpec& spec);
+
+/// Post-run audit: diffs measured per-view bytes (the runtime ledger's
+/// construction tags) against the static plan for `spec`.
+AnalysisReport audit_measured_volume(
+    const ScheduleSpec& spec,
+    const std::map<std::uint32_t, std::int64_t>& measured_bytes_by_view);
+
+}  // namespace cubist

@@ -63,6 +63,11 @@ bool ArgParser::apply(const std::string& name, const std::string& value,
     return false;
   }
   Flag& flag = it->second;
+  if (!value_present && flag.kind != Kind::kBool) {
+    std::fprintf(stderr, "missing value for --%s\n%s", name.c_str(),
+                 usage().c_str());
+    return false;
+  }
   try {
     switch (flag.kind) {
       case Kind::kBool:
@@ -70,15 +75,12 @@ bool ArgParser::apply(const std::string& name, const std::string& value,
             !value_present || value == "true" || value == "1" || value == "yes";
         break;
       case Kind::kInt:
-        if (!value_present) throw InvalidArgument("missing value");
         *flag.int_target = std::stoll(value);
         break;
       case Kind::kDouble:
-        if (!value_present) throw InvalidArgument("missing value");
         *flag.double_target = std::stod(value);
         break;
       case Kind::kString:
-        if (!value_present) throw InvalidArgument("missing value");
         *flag.string_target = value;
         break;
     }

@@ -5,7 +5,7 @@
 
 #include "common/error.h"
 #include "core/partition.h"
-#include "core/volume_model.h"
+#include "lattice/volume_model.h"
 
 namespace cubist {
 

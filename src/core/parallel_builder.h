@@ -25,6 +25,14 @@
 
 namespace cubist {
 
+/// Default for the driver's static schedule checks: on in debug builds,
+/// off in release builds (tests can always opt in explicitly).
+#ifdef NDEBUG
+inline constexpr bool kScheduleAnalysisDefault = false;
+#else
+inline constexpr bool kScheduleAnalysisDefault = true;
+#endif
+
 /// Tunables of the parallel construction (extensions; the paper's
 /// configuration is the default).
 struct ParallelOptions {
@@ -34,6 +42,14 @@ struct ParallelOptions {
   /// The communication-frequency knob: volume is unchanged, message count
   /// and latency cost grow as the cap shrinks.
   std::int64_t reduce_message_elements = 0;
+  /// Pre-flight gate (src/analysis): before any rank launches, statically
+  /// certify the schedule — matched sends/recvs, deadlock freedom, Lemma
+  /// 1 / Theorem 3 volumes, Theorem 4 memory bound. Violations throw
+  /// InternalError from run_parallel_cube.
+  bool verify_schedule = kScheduleAnalysisDefault;
+  /// Post-run auditor: diff the measured per-view ledger bytes against
+  /// the static plan; any divergence throws InternalError.
+  bool audit_volume = false;
 };
 
 /// Per-rank accounting of one parallel construction.

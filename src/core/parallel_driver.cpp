@@ -4,6 +4,7 @@
 #include <atomic>
 #include <mutex>
 
+#include "analysis/schedule_verifier.h"
 #include "common/error.h"
 #include "minimpi/proc_grid.h"
 
@@ -59,6 +60,16 @@ ParallelCubeReport run_parallel_cube(const std::vector<std::int64_t>& sizes,
                "grid rank mismatch");
   const int p = grid.size();
   const int n = static_cast<int>(sizes.size());
+
+  ScheduleSpec schedule_spec;
+  schedule_spec.sizes = sizes;
+  schedule_spec.log_splits = log_splits;
+  schedule_spec.reduce_message_elements = options.reduce_message_elements;
+  if (options.verify_schedule) {
+    const AnalysisReport preflight = verify_schedule(schedule_spec);
+    CUBIST_ASSERT(preflight.ok(), "pre-flight schedule verification failed:\n"
+                                      << preflight.to_string());
+  }
 
   ParallelCubeReport report;
   report.rank_stats.resize(static_cast<std::size_t>(p));
@@ -131,6 +142,12 @@ ParallelCubeReport run_parallel_cube(const std::vector<std::int64_t>& sizes,
       report.bytes_by_view[static_cast<std::uint32_t>(tag)] += bytes;
       report.construction_bytes += bytes;
     }
+  }
+  if (options.audit_volume) {
+    const AnalysisReport audit =
+        audit_measured_volume(schedule_spec, report.bytes_by_view);
+    CUBIST_ASSERT(audit.ok(),
+                  "post-run volume audit failed:\n" << audit.to_string());
   }
   report.cube = std::move(assembled);
   return report;

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "common/error.h"
-#include "core/volume_model.h"
+#include "lattice/volume_model.h"
 
 namespace cubist {
 

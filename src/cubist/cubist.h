@@ -33,6 +33,8 @@
 #include "array/permute.h"         // physical dimension reordering
 #include "array/shape.h"           // extents + strides
 #include "array/sparse_array.h"    // chunk-offset sparse format
+#include "analysis/comm_plan.h"          // static Figure-5 schedule plan
+#include "analysis/schedule_verifier.h"  // schedule verifier + ledger audit
 #include "baselines/tree_builder.h"  // prior-work spanning-tree baselines
 #include "common/dimset.h"         // lattice node = set of dimensions
 #include "common/mathutil.h"
@@ -50,7 +52,6 @@
 #include "core/sequential_builder.h" // Figure 3
 #include "core/verify.h"             // reference cube + comparison
 #include "core/view_selection.h"     // HRU greedy view selection
-#include "core/volume_model.h"       // Lemma 1 / Theorem 3
 #include "io/array_io.h"             // binary + CSV persistence
 #include "io/generators.h"           // synthetic datasets
 #include "lattice/aggregation_tree.h"  // Definition 3
@@ -58,6 +59,7 @@
 #include "lattice/memory_sim.h"        // Theorems 1/2/4/5
 #include "lattice/prefix_tree.h"       // Definition 2
 #include "lattice/spanning_tree.h"     // generic trees (MMST/MNST/naive)
+#include "lattice/volume_model.h"      // Lemma 1 / Theorem 3
 #include "minimpi/comm.h"              // message passing endpoint
 #include "minimpi/cost_model.h"        // virtual-time constants
 #include "minimpi/proc_grid.h"         // processor grid + lead processors

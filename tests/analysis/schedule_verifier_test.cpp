@@ -1,0 +1,259 @@
+// The verifier certifies known-good schedules and pins a diagnostic on
+// each class of mutation: dropped receives, dropped sends, wrong lead
+// placement, off-by-one volumes, receive cycles, memory-bound breaches.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cubist/cubist.h"
+
+namespace cubist {
+namespace {
+
+ScheduleSpec spec_of(std::vector<std::int64_t> sizes,
+                     std::vector<int> log_splits,
+                     std::int64_t cap = 0) {
+  ScheduleSpec spec;
+  spec.sizes = std::move(sizes);
+  spec.log_splits = std::move(log_splits);
+  spec.reduce_message_elements = cap;
+  return spec;
+}
+
+bool has_violation(const AnalysisReport& report, ViolationCode code) {
+  return std::any_of(report.violations.begin(), report.violations.end(),
+                     [code](const Violation& v) { return v.code == code; });
+}
+
+/// Index of the first op of `kind` in `ops`, or npos.
+std::size_t find_op(const std::vector<PlannedOp>& ops, PlannedOp::Kind kind) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == kind) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+TEST(ScheduleVerifierTest, CertifiesDefaultFigure5Schedules) {
+  for (const ScheduleSpec& spec :
+       {spec_of({16, 8, 8}, {1, 1, 0}), spec_of({8, 8, 8}, {1, 1, 1}),
+        spec_of({16, 16}, {2, 0}), spec_of({7, 5, 3}, {1, 1, 1}),
+        spec_of({16, 8}, {1, 1}, /*cap=*/3), spec_of({4, 4}, {0, 0})}) {
+    const AnalysisReport report = verify_schedule(spec);
+    EXPECT_TRUE(report.ok()) << report.to_string();
+    EXPECT_EQ(report.planned_total_elements,
+              report.predicted_total_elements);
+    EXPECT_LE(report.max_peak_live_bytes, report.memory_bound_bytes);
+  }
+}
+
+TEST(ScheduleVerifierTest, DroppedRecvLeavesUnmatchedSend) {
+  const ScheduleSpec spec = spec_of({16, 8}, {1, 0});
+  CommPlan plan = build_comm_plan(spec);
+  // Rank 0 is the lead along dimension 0: drop its first receive.
+  const std::size_t recv = find_op(plan.ranks[0].ops, PlannedOp::Kind::kRecv);
+  ASSERT_NE(recv, static_cast<std::size_t>(-1));
+  plan.ranks[0].ops.erase(plan.ranks[0].ops.begin() +
+                          static_cast<std::ptrdiff_t>(recv));
+  const AnalysisReport report = verify_schedule(spec, plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_violation(report, ViolationCode::kUnmatchedSend))
+      << report.to_string();
+}
+
+TEST(ScheduleVerifierTest, DroppedSendBlocksReceiverForever) {
+  const ScheduleSpec spec = spec_of({16, 8}, {1, 0});
+  CommPlan plan = build_comm_plan(spec);
+  // Rank 1 ships its partials to rank 0: drop its first send.
+  const std::size_t send = find_op(plan.ranks[1].ops, PlannedOp::Kind::kSend);
+  ASSERT_NE(send, static_cast<std::size_t>(-1));
+  plan.ranks[1].ops.erase(plan.ranks[1].ops.begin() +
+                          static_cast<std::ptrdiff_t>(send));
+  const AnalysisReport report = verify_schedule(spec, plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_violation(report, ViolationCode::kUnmatchedRecv))
+      << report.to_string();
+}
+
+TEST(ScheduleVerifierTest, WrongLeadPlacementIsFlagged) {
+  const ScheduleSpec spec = spec_of({16, 8}, {1, 0});
+  CommPlan plan = build_comm_plan(spec);
+  // Move a finalized view from the lead (rank 0) to a rank that does not
+  // lead it (rank 1 has coordinate 1 along dimension 0, so it leads no
+  // view aggregated along dimension 0).
+  const ProcGrid grid(spec.log_splits);
+  auto& finals = plan.ranks[0].final_views;
+  const auto moved = std::find_if(
+      finals.begin(), finals.end(), [&](std::uint32_t mask) {
+        return !grid.is_lead_for(1, DimSet::from_mask(mask).complement(2));
+      });
+  ASSERT_NE(moved, finals.end());
+  const std::uint32_t view = *moved;
+  finals.erase(moved);
+  plan.ranks[1].final_views.push_back(view);
+  const AnalysisReport report = verify_schedule(spec, plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_violation(report, ViolationCode::kWrongLead))
+      << report.to_string();
+  // Both sides are reported: the missing lead and the usurping non-lead.
+  int wrong_leads = 0;
+  for (const Violation& v : report.violations) {
+    if (v.code == ViolationCode::kWrongLead) ++wrong_leads;
+  }
+  EXPECT_EQ(wrong_leads, 2);
+}
+
+TEST(ScheduleVerifierTest, OffByOneVolumeTripsLemma1AndTheorem3) {
+  const ScheduleSpec spec = spec_of({16, 8}, {1, 0});
+  CommPlan plan = build_comm_plan(spec);
+  // Inflate one matched send/recv pair by one element: transport still
+  // matches, but the closed-form volume checks must fire.
+  const std::size_t send = find_op(plan.ranks[1].ops, PlannedOp::Kind::kSend);
+  ASSERT_NE(send, static_cast<std::size_t>(-1));
+  const std::uint32_t view = plan.ranks[1].ops[send].view;
+  plan.ranks[1].ops[send].elements += 1;
+  for (PlannedOp& op : plan.ranks[0].ops) {
+    if (op.kind == PlannedOp::Kind::kRecv && op.view == view) {
+      op.elements += 1;
+      break;
+    }
+  }
+  const AnalysisReport report = verify_schedule(spec, plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_FALSE(has_violation(report, ViolationCode::kUnmatchedSend));
+  EXPECT_FALSE(has_violation(report, ViolationCode::kUnmatchedRecv));
+  EXPECT_TRUE(has_violation(report, ViolationCode::kEdgeVolumeMismatch))
+      << report.to_string();
+  EXPECT_TRUE(has_violation(report, ViolationCode::kTotalVolumeMismatch));
+  // The diagnostic names the mutated view and both volumes.
+  for (const Violation& v : report.violations) {
+    if (v.code == ViolationCode::kEdgeVolumeMismatch) {
+      EXPECT_EQ(v.view_mask, view);
+      EXPECT_EQ(v.actual, v.expected + 1);
+    }
+  }
+}
+
+TEST(ScheduleVerifierTest, PayloadSizeDisagreementIsFlagged) {
+  const ScheduleSpec spec = spec_of({16, 8}, {1, 0});
+  CommPlan plan = build_comm_plan(spec);
+  const std::size_t send = find_op(plan.ranks[1].ops, PlannedOp::Kind::kSend);
+  ASSERT_NE(send, static_cast<std::size_t>(-1));
+  plan.ranks[1].ops[send].elements += 1;  // send only; recv unchanged
+  const AnalysisReport report = verify_schedule(spec, plan);
+  EXPECT_TRUE(has_violation(report, ViolationCode::kMessageSizeMismatch))
+      << report.to_string();
+}
+
+TEST(ScheduleVerifierTest, ReceiveCycleIsReportedAsDeadlock) {
+  const ScheduleSpec spec = spec_of({16, 8}, {1, 0});
+  CommPlan plan = build_comm_plan(spec);
+  // Prepend mutually-blocking receives (sends only after): a classic
+  // head-of-line cycle between ranks 0 and 1.
+  const std::uint32_t view = 0;  // the `all` scalar view tag
+  plan.ranks[0].ops.insert(plan.ranks[0].ops.begin(),
+                           {PlannedOp::Kind::kRecv, 1, view, 1});
+  plan.ranks[1].ops.insert(plan.ranks[1].ops.begin(),
+                           {PlannedOp::Kind::kRecv, 0, view, 1});
+  plan.ranks[0].ops.push_back({PlannedOp::Kind::kSend, 1, view, 1});
+  plan.ranks[1].ops.push_back({PlannedOp::Kind::kSend, 0, view, 1});
+  const AnalysisReport report = verify_schedule(spec, plan);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_violation(report, ViolationCode::kDeadlock))
+      << report.to_string();
+  for (const Violation& v : report.violations) {
+    if (v.code == ViolationCode::kDeadlock) {
+      EXPECT_NE(v.message.find("wait-for cycle"), std::string::npos);
+    }
+  }
+}
+
+TEST(ScheduleVerifierTest, MemoryMutationsTripTheorem4Checks) {
+  const ScheduleSpec spec = spec_of({16, 8}, {1, 0});
+  {
+    CommPlan plan = build_comm_plan(spec);
+    // Drop a release: the rank ends with a live block.
+    auto& memory = plan.ranks[0].memory;
+    const auto release = std::find_if(
+        memory.begin(), memory.end(), [](const PlannedMemoryEvent& e) {
+          return e.kind == PlannedMemoryEvent::Kind::kRelease;
+        });
+    ASSERT_NE(release, memory.end());
+    memory.erase(release);
+    const AnalysisReport report = verify_schedule(spec, plan);
+    EXPECT_TRUE(has_violation(report, ViolationCode::kMemoryLeak))
+        << report.to_string();
+  }
+  {
+    CommPlan plan = build_comm_plan(spec);
+    // Balloon an allocation far past the Theorem 4 bound (paired with its
+    // release so the leak check stays quiet).
+    auto& memory = plan.ranks[0].memory;
+    ASSERT_FALSE(memory.empty());
+    const std::uint32_t view = memory.front().view;
+    const std::int64_t bloat = 1 << 30;
+    for (PlannedMemoryEvent& event : memory) {
+      if (event.view == view) event.bytes += bloat;
+    }
+    const AnalysisReport report = verify_schedule(spec, plan);
+    EXPECT_TRUE(has_violation(report, ViolationCode::kMemoryBoundExceeded))
+        << report.to_string();
+    EXPECT_FALSE(has_violation(report, ViolationCode::kMemoryLeak));
+  }
+}
+
+TEST(ScheduleVerifierTest, AuditAcceptsExactLedgerAndCatchesOverCount) {
+  const ScheduleSpec spec = spec_of({16, 8, 8}, {1, 1, 0});
+  const CommPlan plan = build_comm_plan(spec);
+  std::map<std::uint32_t, std::int64_t> measured;
+  for (const auto& [mask, elements] : plan.elements_by_view) {
+    measured[mask] = elements * spec.bytes_per_cell;
+  }
+  EXPECT_TRUE(audit_measured_volume(spec, measured).ok());
+
+  // Inject an over-count on one view.
+  ASSERT_FALSE(measured.empty());
+  measured.begin()->second += spec.bytes_per_cell;
+  const AnalysisReport report = audit_measured_volume(spec, measured);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_violation(report, ViolationCode::kLedgerVolumeMismatch))
+      << report.to_string();
+}
+
+TEST(ScheduleVerifierTest, AuditFlagsUnknownTags) {
+  const ScheduleSpec spec = spec_of({16, 8}, {1, 0});
+  const CommPlan plan = build_comm_plan(spec);
+  std::map<std::uint32_t, std::int64_t> measured;
+  for (const auto& [mask, elements] : plan.elements_by_view) {
+    measured[mask] = elements * spec.bytes_per_cell;
+  }
+  measured[0xdeadbeefu] = 64;  // traffic under a tag that is no view
+  const AnalysisReport report = audit_measured_volume(spec, measured);
+  EXPECT_TRUE(has_violation(report, ViolationCode::kUnknownViewTag))
+      << report.to_string();
+}
+
+TEST(ScheduleVerifierTest, ReportRendersHumanAndJson) {
+  const ScheduleSpec spec = spec_of({16, 8}, {1, 1});
+  const AnalysisReport report = verify_schedule(spec);
+  EXPECT_NE(report.to_string().find("schedule OK"), std::string::npos);
+  EXPECT_NE(report.to_json().find("\"ok\":true"), std::string::npos);
+
+  CommPlan plan = build_comm_plan(spec);
+  const std::size_t recv = find_op(plan.ranks[0].ops, PlannedOp::Kind::kRecv);
+  ASSERT_NE(recv, static_cast<std::size_t>(-1));
+  plan.ranks[0].ops.erase(plan.ranks[0].ops.begin() +
+                          static_cast<std::ptrdiff_t>(recv));
+  const AnalysisReport broken = verify_schedule(spec, plan);
+  EXPECT_NE(broken.to_string().find("schedule INVALID"), std::string::npos);
+  EXPECT_NE(broken.to_json().find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(broken.to_json().find("unmatched_send"), std::string::npos);
+}
+
+TEST(ScheduleVerifierTest, RejectsPlanGridMismatch) {
+  const CommPlan plan = build_comm_plan(spec_of({16, 8}, {1, 0}));
+  EXPECT_THROW(verify_schedule(spec_of({16, 8}, {1, 1}), plan),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cubist

@@ -146,8 +146,8 @@ TEST_P(AggregateOpKernelTest, TwoLevelAggregationIsConsistent) {
 
 INSTANTIATE_TEST_SUITE_P(Ops, AggregateOpKernelTest,
                          ::testing::ValuesIn(kAllOps),
-                         [](const auto& info) {
-                           return to_string(info.param);
+                         [](const auto& param_info) {
+                           return to_string(param_info.param);
                          });
 
 TEST(AggregateOpTest, CombineArrays) {

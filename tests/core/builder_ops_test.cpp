@@ -80,7 +80,7 @@ TEST_P(BuilderOpsTest, ParallelMatchesSequentialAcrossGrids) {
   };
   ParallelOptions options;
   options.op = op;
-  for (const std::vector<int> splits :
+  for (const std::vector<int>& splits :
        {std::vector<int>{1, 1, 1}, std::vector<int>{2, 0, 0},
         std::vector<int>{0, 1, 2}}) {
     const ParallelCubeReport report = run_parallel_cube(
@@ -91,8 +91,8 @@ TEST_P(BuilderOpsTest, ParallelMatchesSequentialAcrossGrids) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Ops, BuilderOpsTest, ::testing::ValuesIn(kAllOps),
-                         [](const auto& info) {
-                           return to_string(info.param);
+                         [](const auto& param_info) {
+                           return to_string(param_info.param);
                          });
 
 TEST(BuilderOpsTest, CountCubeCountsNonzeros) {

@@ -7,7 +7,7 @@
 
 #include "common/rng.h"
 #include "core/partition.h"
-#include "core/volume_model.h"
+#include "lattice/volume_model.h"
 
 namespace cubist {
 namespace {

@@ -6,7 +6,7 @@
 #include "core/partition.h"
 #include "core/sequential_builder.h"
 #include "core/verify.h"
-#include "core/volume_model.h"
+#include "lattice/volume_model.h"
 #include "io/generators.h"
 #include "lattice/memory_sim.h"
 
@@ -115,7 +115,7 @@ TEST(ParallelBuilderTest, PeakMemoryWithinTheorem4Bound) {
   spec.sizes = {16, 16, 8};
   spec.density = 0.5;
   spec.seed = 21;
-  for (const std::vector<int> splits :
+  for (const std::vector<int>& splits :
        {std::vector<int>{1, 1, 1}, std::vector<int>{2, 1, 0},
         std::vector<int>{0, 0, 3}}) {
     const ParallelCubeReport report = run_parallel_cube(

@@ -6,7 +6,7 @@
 #include <set>
 
 #include "common/rng.h"
-#include "core/volume_model.h"
+#include "lattice/volume_model.h"
 
 namespace cubist {
 namespace {

@@ -92,7 +92,7 @@ TEST(ScaleTest, FiveDimensionalCubeParallel) {
   };
   const CubeResult expected =
       build_cube_sequential(generate_sparse_global(spec));
-  for (const std::vector<int> splits :
+  for (const std::vector<int>& splits :
        {std::vector<int>{1, 1, 1, 0, 0}, std::vector<int>{2, 0, 0, 1, 0},
         std::vector<int>{0, 0, 0, 0, 1}}) {
     const auto report = run_parallel_cube(spec.sizes, splits, CostModel{},

@@ -60,7 +60,7 @@ TEST(GeneratorsTest, BlockGenerationIsPartitionInvariant) {
   // reproduce exactly the global array, for every grid.
   const SparseSpec spec = spec_8x8x8(0.25, 17);
   const DenseArray global = generate_sparse_global(spec).to_dense();
-  for (const std::vector<int> splits :
+  for (const std::vector<int>& splits :
        {std::vector<int>{1, 1, 1}, std::vector<int>{3, 0, 0},
         std::vector<int>{0, 2, 0}}) {
     const ProcGrid grid(splits);

@@ -1,4 +1,4 @@
-#include "core/volume_model.h"
+#include "lattice/volume_model.h"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Repo lint: enforces cubist source conventions that compilers can't.
+
+Checked over src/ (the library proper — bench/, examples/ and tests/ are
+deliberately looser):
+
+  1. Every header starts with a `//` doc comment and contains `#pragma once`.
+  2. No naked `throw` statements.  Failures must go through the error
+     macros so they carry file/line context and a message:
+       * CUBIST_CHECK   — precondition on caller-supplied input
+                          (throws InvalidArgument),
+       * CUBIST_ASSERT  — internal invariant (throws InternalError),
+       * CUBIST_DCHECK  — debug-only invariant.
+     Allowlisted: src/common/error.cpp (the macros' own implementation)
+     and `throw AbortedError()` (the cooperative-shutdown signal that the
+     minimpi runtime throws from blocked calls when a peer aborts).
+  3. No raw `assert(` / `<cassert>` — raw asserts vanish under NDEBUG and
+     kill the whole process under a debug build; CUBIST_* macros throw,
+     which minimpi converts into single-rank failure + group abort.
+  4. Every CUBIST_CHECK / CUBIST_ASSERT / CUBIST_DCHECK carries a message
+     operand (a bare condition gives useless diagnostics).
+  5. No file-scope `using namespace` in src/.
+
+Usage:  python3 tools/lint.py  [--root REPO_ROOT]
+Exit status 0 = clean, 1 = violations (printed one per line).
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+NAKED_THROW_ALLOWED_FILES = {"src/common/error.cpp"}
+ALLOWED_THROW = re.compile(r"throw\s+AbortedError\s*\(\s*\)")
+THROW = re.compile(r"(?<![\w_])throw(?![\w_])")
+MACRO_CALL = re.compile(r"CUBIST_(?:CHECK|ASSERT|DCHECK)\s*\(")
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving newlines.
+
+    Keeps byte offsets line-stable so violation line numbers stay accurate.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and nxt == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                i += 1
+            i += 1
+            out.append(quote + quote)
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def check_macro_messages(rel: str, code: str, problems: list) -> None:
+    for match in MACRO_CALL.finditer(code):
+        i = match.end()
+        depth = 1
+        has_message = False
+        while i < len(code) and depth > 0:
+            c = code[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+            elif c == "," and depth == 1:
+                has_message = True
+            i += 1
+        if not has_message:
+            problems.append(
+                f"{rel}:{line_of(code, match.start())}: "
+                f"{match.group(0).rstrip('(').strip()} without a message "
+                "operand — explain what went wrong")
+
+
+def lint_file(path: pathlib.Path, rel: str, problems: list) -> None:
+    text = path.read_text()
+    code = strip_comments_and_strings(text)
+
+    if rel.endswith(".h"):
+        if not text.startswith("//"):
+            problems.append(
+                f"{rel}:1: header must start with a `//` doc comment")
+        if "#pragma once" not in text:
+            problems.append(f"{rel}:1: header missing `#pragma once`")
+
+    if rel not in NAKED_THROW_ALLOWED_FILES:
+        allowed_spans = [m.span() for m in ALLOWED_THROW.finditer(code)]
+        for match in THROW.finditer(code):
+            if any(a <= match.start() < b for a, b in allowed_spans):
+                continue
+            problems.append(
+                f"{rel}:{line_of(code, match.start())}: naked `throw` — use "
+                "CUBIST_CHECK (precondition) or CUBIST_ASSERT (invariant)")
+
+    for match in re.finditer(r"(?<![\w_])assert\s*\(", code):
+        problems.append(
+            f"{rel}:{line_of(code, match.start())}: raw `assert(` — use "
+            "CUBIST_ASSERT / CUBIST_DCHECK (raw asserts vanish under NDEBUG)")
+    for match in re.finditer(r"#\s*include\s*<cassert>", code):
+        problems.append(
+            f"{rel}:{line_of(code, match.start())}: `<cassert>` include — "
+            "use common/error.h macros instead")
+
+    for match in re.finditer(r"^\s*using\s+namespace\b", code, re.MULTILINE):
+        problems.append(
+            f"{rel}:{line_of(code, match.start())}: file-scope "
+            "`using namespace` in library code")
+
+    check_macro_messages(rel, code, problems)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    args = parser.parse_args()
+    root = (pathlib.Path(args.root).resolve() if args.root
+            else pathlib.Path(__file__).resolve().parent.parent)
+
+    if not (root / "src").is_dir():
+        print(f"lint: no src/ under {root} — wrong --root?", file=sys.stderr)
+        return 2
+
+    problems = []
+    files = sorted((root / "src").rglob("*"))
+    count = 0
+    for path in files:
+        if path.suffix not in (".h", ".cpp"):
+            continue
+        count += 1
+        lint_file(path, path.relative_to(root).as_posix(), problems)
+
+    for problem in problems:
+        print(problem)
+    print(f"lint: {count} files checked, {len(problems)} problem(s)",
+          file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
