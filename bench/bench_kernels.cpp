@@ -9,14 +9,41 @@
 namespace cubist::bench {
 namespace {
 
+/// Dense fixtures cached per shape. A function-local `static DenseArray`
+/// inside a parameterized benchmark body is a trap: it is initialized
+/// from the FIRST invocation's parameters and silently reused for every
+/// other argument set. This cache keys on the actual shape instead, and
+/// each benchmark re-fetches the array it asked for.
+const DenseArray& dense_fixture(const std::vector<std::int64_t>& sizes,
+                                std::uint64_t seed) {
+  static std::map<std::string, DenseArray> cache;
+  std::string key;
+  for (std::int64_t s : sizes) {
+    key += std::to_string(s);
+    key += 'x';
+  }
+  key += '#';
+  key += std::to_string(seed);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    const SparseSpec spec{sizes, 1.0, seed, {}, 0.0};
+    it = cache.emplace(key, generate_sparse_global(spec).to_dense()).first;
+  }
+  return it->second;
+}
+
+/// Arg 0: simultaneous targets; arg 1: dimensionality (3 => 48^3,
+/// 4 => 32x32x32x16). Runs on the global pool, so CUBIST_THREADS selects
+/// the parallelism (tools/bench_report.py sweeps it).
 void BM_DenseMultiway(benchmark::State& state) {
   const auto num_targets = static_cast<std::size_t>(state.range(0));
-  const std::vector<std::int64_t> sizes{48, 48, 48};
-  const SparseSpec spec{sizes, 1.0, 3, {}, 0.0};
-  static const DenseArray parent =
-      generate_sparse_global(spec).to_dense();
+  const std::vector<std::int64_t> sizes =
+      state.range(1) == 4 ? std::vector<std::int64_t>{32, 32, 32, 16}
+                          : std::vector<std::int64_t>{48, 48, 48};
+  const DenseArray& parent = dense_fixture(sizes, 3);
   std::vector<DenseArray> children;
   std::vector<AggregationTarget> targets;
+  children.reserve(num_targets);
   for (std::size_t pos = 0; pos < num_targets; ++pos) {
     children.emplace_back(parent.shape().without_dim(static_cast<int>(pos)));
   }
@@ -29,8 +56,18 @@ void BM_DenseMultiway(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * parent.size() *
                           static_cast<std::int64_t>(num_targets));
+  state.counters["threads"] =
+      static_cast<double>(ThreadPool::global().size());
 }
-BENCHMARK(BM_DenseMultiway)->DenseRange(1, 3)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DenseMultiway)
+    ->Args({1, 3})
+    ->Args({2, 3})
+    ->Args({3, 3})
+    ->Args({1, 4})
+    ->Args({2, 4})
+    ->Args({3, 4})
+    ->Args({4, 4})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SparseMultiwayChunks(benchmark::State& state) {
   const std::int64_t chunk = state.range(0);
@@ -91,9 +128,7 @@ BENCHMARK(BM_SparseMultiwayDensity)
     ->Unit(benchmark::kMillisecond);
 
 void BM_Projection(benchmark::State& state) {
-  const std::vector<std::int64_t> sizes{48, 48, 48};
-  const SparseSpec spec{sizes, 1.0, 9, {}, 0.0};
-  static const DenseArray parent = generate_sparse_global(spec).to_dense();
+  const DenseArray& parent = dense_fixture({48, 48, 48}, 9);
   DenseArray out{Shape{{48}}};
   for (auto _ : state) {
     out.fill(0);

@@ -80,11 +80,17 @@ class DatasetCache {
  private:
   static std::string cache_key(const std::vector<std::int64_t>& sizes,
                                double density, std::uint64_t seed) {
+    // Appends only: `"lit" + std::to_string(...)` trips GCC 12's
+    // -Wrestrict false positive at -O3 -Werror (PR105651).
     std::string key;
     for (std::int64_t s : sizes) {
-      key += std::to_string(s) + "x";
+      key += std::to_string(s);
+      key += 'x';
     }
-    key += "@" + std::to_string(density) + "#" + std::to_string(seed);
+    key += '@';
+    key += std::to_string(density);
+    key += '#';
+    key += std::to_string(seed);
     return key;
   }
 

@@ -1,6 +1,10 @@
 #include "array/aggregate.h"
 
+#include <algorithm>
 #include <vector>
+
+#include "common/mathutil.h"
+#include "common/thread_pool.h"
 
 namespace cubist {
 namespace {
@@ -28,121 +32,364 @@ std::vector<std::int64_t> projection_strides(const Shape& parent_shape,
   return strides;
 }
 
+std::int64_t child_bytes_for(const Shape& parent, int aggregated_pos) {
+  return parent.size() / parent.extent(aggregated_pos) *
+         static_cast<std::int64_t>(sizeof(Value));
+}
+
+/// Shared stripe planner over an iteration space of `units` row-major
+/// units. `alias_block[c]` is the aligned run length (in units) within
+/// which all contributions to one cell/region of child c fall: stripes
+/// whose length is a multiple of it write disjoint child regions. Walks
+/// the candidate stripe counts downward until the private-accumulator
+/// scratch fits the budget; everything here is a function of shapes (and
+/// `work_cells`), never of the thread count.
+StripePlan plan_stripes(std::int64_t units, const Shape& space,
+                        std::span<const std::int64_t> alias_block,
+                        std::span<const std::int64_t> child_bytes,
+                        std::int64_t work_cells) {
+  StripePlan plan;
+  plan.stripe_len = std::max<std::int64_t>(units, 1);
+  plan.aliased.assign(alias_block.size(), 0);
+  const std::int64_t desired =
+      std::min(kMaxScanStripes, work_cells / kMinCellsPerStripe);
+  if (units <= 1 || desired <= 1) return plan;
+  for (std::int64_t g = std::min(desired, units); g >= 2; --g) {
+    const std::int64_t raw = ceil_div(units, g);
+    // Align the stripe length to the largest iteration-space stride that
+    // fits, so as many targets as possible become alias-free.
+    std::int64_t align = 1;
+    for (int d = 0; d < space.ndim(); ++d) {
+      if (space.stride(d) <= raw) align = std::max(align, space.stride(d));
+    }
+    const std::int64_t len = ceil_div(raw, align) * align;
+    const std::int64_t stripes = ceil_div(units, len);
+    if (stripes <= 1) continue;
+    std::int64_t scratch = 0;
+    for (std::size_t c = 0; c < alias_block.size(); ++c) {
+      if (len % alias_block[c] != 0) scratch += child_bytes[c];
+    }
+    scratch *= stripes;
+    if (scratch > kScanScratchBudgetBytes) continue;
+    plan.num_stripes = stripes;
+    plan.stripe_len = len;
+    for (std::size_t c = 0; c < alias_block.size(); ++c) {
+      plan.aliased[c] = len % alias_block[c] != 0 ? 1 : 0;
+    }
+    plan.scratch_bytes = scratch;
+    return plan;
+  }
+  return plan;
+}
+
+ThreadPool& pool_of(const AggregateOptions& options) {
+  return options.pool != nullptr ? *options.pool : ThreadPool::global();
+}
+
+/// Sums `bufs` into `child`, cell by cell, in ascending stripe order —
+/// the fixed merge order that makes striped scans bit-identical for any
+/// thread count. Parallel over disjoint cell ranges.
+void merge_stripe_buffers(DenseArray* child,
+                          const std::vector<DenseArray>& bufs,
+                          const AggregateOptions& options) {
+  const std::int64_t n = child->size();
+  Value* out = child->data();
+  std::vector<const Value*> srcs;
+  srcs.reserve(bufs.size());
+  for (const DenseArray& buf : bufs) srcs.push_back(buf.data());
+  pool_of(options).parallel_for(
+      0, n, std::int64_t{1} << 15,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          Value acc = 0;
+          for (const Value* src : srcs) acc += src[i];
+          out[i] += acc;
+        }
+      },
+      options.max_workers);
+}
+
+/// One target's state during a dense row scan.
+struct ScanTarget {
+  /// Accumulation base: the child array or a stripe-private buffer
+  /// (same indexing either way — private buffers clone the child shape).
+  Value* base = nullptr;
+  /// Child stride per parent dimension (0 for the aggregated one).
+  const std::int64_t* strides = nullptr;
+  /// Projected child index of the current row's first cell.
+  std::int64_t row_start = 0;
+};
+
+/// Scans parent rows [row_begin, row_end), accumulating every target.
+/// Row-major row order with a fixed per-row target order, so the
+/// arithmetic is independent of how rows are striped across threads
+/// (per child cell, all contributions come from one stripe, in row
+/// order). The inner loops are specialized for the dominant cases: a
+/// row-sum reduction for the innermost-dimension target (delta 0) and
+/// contiguous vector adds for every other target (delta 1), issued
+/// jointly for up to three targets so the parent row is read once.
+void scan_dense_rows(const Value* parent_data, const Shape& outer,
+                     std::int64_t inner, std::int64_t row_begin,
+                     std::int64_t row_end, std::vector<ScanTarget>& targets) {
+  const int od = outer.ndim();
+  const int m = od + 1;
+  std::vector<std::int64_t> idx(static_cast<std::size_t>(od), 0);
+  outer.unravel(row_begin, idx.data());
+  for (ScanTarget& t : targets) {
+    t.row_start = 0;
+    for (int d = 0; d < od; ++d) t.row_start += idx[d] * t.strides[d];
+  }
+  // Split targets by their inner-dimension delta: 0 = the aggregated
+  // dimension is the innermost (row reduction), 1 = contiguous row add.
+  std::vector<ScanTarget*> reduce_targets;
+  std::vector<ScanTarget*> vec_targets;
+  for (ScanTarget& t : targets) {
+    const std::int64_t delta = t.strides[m - 1];
+    CUBIST_DCHECK(delta == 0 || delta == 1,
+                  "inner-dimension child stride must be 0 or 1, got "
+                      << delta);
+    (delta == 0 ? reduce_targets : vec_targets).push_back(&t);
+  }
+
+  const Value* cell = parent_data + row_begin * inner;
+  for (std::int64_t r = row_begin; r < row_end; ++r) {
+    const Value* in = cell;
+    if (!reduce_targets.empty()) {
+      Value sum = 0;  // fixed left-to-right order: deterministic
+      for (std::int64_t i = 0; i < inner; ++i) sum += in[i];
+      for (ScanTarget* t : reduce_targets) t->base[t->row_start] += sum;
+    }
+    switch (vec_targets.size()) {
+      case 0:
+        break;
+      case 1: {
+        Value* o0 = vec_targets[0]->base + vec_targets[0]->row_start;
+        for (std::int64_t i = 0; i < inner; ++i) o0[i] += in[i];
+        break;
+      }
+      case 2: {
+        Value* o0 = vec_targets[0]->base + vec_targets[0]->row_start;
+        Value* o1 = vec_targets[1]->base + vec_targets[1]->row_start;
+        for (std::int64_t i = 0; i < inner; ++i) {
+          const Value v = in[i];
+          o0[i] += v;
+          o1[i] += v;
+        }
+        break;
+      }
+      case 3: {
+        Value* o0 = vec_targets[0]->base + vec_targets[0]->row_start;
+        Value* o1 = vec_targets[1]->base + vec_targets[1]->row_start;
+        Value* o2 = vec_targets[2]->base + vec_targets[2]->row_start;
+        for (std::int64_t i = 0; i < inner; ++i) {
+          const Value v = in[i];
+          o0[i] += v;
+          o1[i] += v;
+          o2[i] += v;
+        }
+        break;
+      }
+      default:
+        for (ScanTarget* t : vec_targets) {
+          Value* out = t->base + t->row_start;
+          for (std::int64_t i = 0; i < inner; ++i) out[i] += in[i];
+        }
+        break;
+    }
+    cell += inner;
+    // Odometer over the outer dimensions, updating each row start.
+    for (int d = od - 1; d >= 0; --d) {
+      ++idx[d];
+      if (idx[d] < outer.extent(d)) {
+        for (ScanTarget& t : targets) t.row_start += t.strides[d];
+        break;
+      }
+      idx[d] = 0;
+      for (ScanTarget& t : targets) {
+        t.row_start -= (outer.extent(d) - 1) * t.strides[d];
+      }
+    }
+  }
+}
+
+Shape outer_shape(const Shape& parent) {
+  std::vector<std::int64_t> extents(parent.extents().begin(),
+                                    parent.extents().end());
+  extents.pop_back();
+  return Shape{extents};
+}
+
+std::vector<int> target_positions(std::span<const AggregationTarget> targets) {
+  std::vector<int> positions;
+  positions.reserve(targets.size());
+  for (const AggregationTarget& target : targets) {
+    positions.push_back(target.aggregated_pos);
+  }
+  return positions;
+}
+
 }  // namespace
 
-AggregationStats aggregate_children(
-    const DenseArray& parent, std::span<const AggregationTarget> targets) {
+StripePlan plan_dense_scan(const Shape& parent,
+                           std::span<const int> aggregated_positions) {
+  const int m = parent.ndim();
+  StripePlan single;
+  single.aliased.assign(aggregated_positions.size(), 0);
+  single.stripe_len = 1;
+  if (m <= 1) return single;
+  const std::int64_t inner = parent.extent(m - 1);
+  const std::int64_t rows = parent.size() / std::max<std::int64_t>(inner, 1);
+  single.stripe_len = std::max<std::int64_t>(rows, 1);
+  if (rows <= 1 || parent.size() == 0) return single;
+  const Shape outer = outer_shape(parent);
+  std::vector<std::int64_t> alias_block;
+  std::vector<std::int64_t> child_bytes;
+  for (const int a : aggregated_positions) {
+    CUBIST_CHECK(a >= 0 && a < m, "aggregated position out of range");
+    // Rows feeding one child cell: exactly one row when the innermost
+    // dimension is aggregated; otherwise an aligned run of rows spanning
+    // the aggregated dimension's row stride.
+    if (a == m - 1) {
+      alias_block.push_back(1);
+    } else if (a == 0) {
+      alias_block.push_back(rows);
+    } else {
+      alias_block.push_back(outer.stride(a - 1));
+    }
+    child_bytes.push_back(child_bytes_for(parent, a));
+  }
+  return plan_stripes(rows, outer, alias_block, child_bytes, parent.size());
+}
+
+StripePlan plan_sparse_scan(const Shape& parent, const Shape& chunk_grid,
+                            std::span<const int> aggregated_positions,
+                            std::int64_t work_cells) {
+  const int m = parent.ndim();
+  CUBIST_CHECK(chunk_grid.ndim() == m, "chunk grid rank mismatch");
+  const std::int64_t units = chunk_grid.size();
+  StripePlan single;
+  single.aliased.assign(aggregated_positions.size(), 0);
+  single.stripe_len = std::max<std::int64_t>(units, 1);
+  if (units <= 1) return single;
+  std::vector<std::int64_t> alias_block;
+  std::vector<std::int64_t> child_bytes;
+  for (const int a : aggregated_positions) {
+    CUBIST_CHECK(a >= 0 && a < m, "aggregated position out of range");
+    // Chunks feeding one child region differ only in chunk coordinate a:
+    // an aligned run of extent(a) * stride(a) = stride(a - 1) chunk ids.
+    alias_block.push_back(a == 0 ? units : chunk_grid.stride(a - 1));
+    child_bytes.push_back(child_bytes_for(parent, a));
+  }
+  return plan_stripes(units, chunk_grid, alias_block, child_bytes,
+                      work_cells);
+}
+
+std::int64_t scan_scratch_bound(const Shape& parent,
+                                std::span<const int> aggregated_positions,
+                                std::int64_t bytes_per_cell) {
+  CUBIST_CHECK(bytes_per_cell > 0, "bytes_per_cell must be positive");
+  std::int64_t total_child_bytes = 0;
+  for (const int a : aggregated_positions) {
+    CUBIST_CHECK(a >= 0 && a < parent.ndim(),
+                 "aggregated position out of range");
+    total_child_bytes += parent.size() / parent.extent(a) * bytes_per_cell;
+  }
+  return std::min(kScanScratchBudgetBytes,
+                  kMaxScanStripes * total_child_bytes);
+}
+
+AggregationStats aggregate_children(const DenseArray& parent,
+                                    std::span<const AggregationTarget> targets,
+                                    const AggregateOptions& options) {
   const int m = parent.ndim();
   const std::size_t num_targets = targets.size();
   if (num_targets == 0) return {};
   CUBIST_CHECK(m >= 1, "cannot aggregate a scalar parent");
 
-  // Per-target projection strides and running child indices.
   std::vector<std::vector<std::int64_t>> strides;
   strides.reserve(num_targets);
   for (const auto& target : targets) {
     strides.push_back(projection_strides(parent.shape(), target));
   }
-  std::vector<Value*> child_data(num_targets);
-  std::vector<std::int64_t> last_delta(num_targets);
-  std::vector<std::int64_t> row_start(num_targets, 0);
-  for (std::size_t c = 0; c < num_targets; ++c) {
-    child_data[c] = targets[c].child->data();
-    last_delta[c] = strides[c][static_cast<std::size_t>(m - 1)];
-  }
+  const std::vector<int> positions = target_positions(targets);
+  const StripePlan plan = plan_dense_scan(parent.shape(), positions);
 
-  const std::int64_t inner_extent = parent.shape().extent(m - 1);
-  const std::int64_t num_rows = parent.size() / inner_extent;
-  std::vector<std::int64_t> idx(static_cast<std::size_t>(m), 0);
-  const Value* cell = parent.data();
-
-  for (std::int64_t r = 0; r < num_rows; ++r) {
-    // Inner loop over the fastest-varying dimension; each target's child
-    // index advances by its own stride (0 if this is the aggregated dim).
-    for (std::size_t c = 0; c < num_targets; ++c) {
-      std::int64_t ci = row_start[c];
-      const std::int64_t delta = last_delta[c];
-      Value* out = child_data[c];
-      const Value* in = cell;
-      for (std::int64_t i = 0; i < inner_extent; ++i) {
-        out[ci] += in[i];
-        ci += delta;
-      }
-    }
-    cell += inner_extent;
-    // Odometer over the outer dimensions, updating each row start.
-    for (int d = m - 2; d >= 0; --d) {
-      ++idx[d];
-      if (idx[d] < parent.shape().extent(d)) {
-        for (std::size_t c = 0; c < num_targets; ++c) {
-          row_start[c] += strides[c][d];
-        }
-        break;
-      }
-      idx[d] = 0;
-      for (std::size_t c = 0; c < num_targets; ++c) {
-        row_start[c] -= (parent.shape().extent(d) - 1) * strides[c][d];
-      }
-    }
-  }
+  const std::int64_t inner = parent.shape().extent(m - 1);
+  const std::int64_t num_rows =
+      parent.size() / std::max<std::int64_t>(inner, 1);
+  const Shape outer = outer_shape(parent.shape());
 
   AggregationStats stats;
   stats.cells_scanned = parent.size();
   stats.updates = parent.size() * static_cast<std::int64_t>(num_targets);
+  stats.scratch_bytes = plan.scratch_bytes;
+
+  if (plan.num_stripes <= 1) {
+    std::vector<ScanTarget> scan_targets(num_targets);
+    for (std::size_t c = 0; c < num_targets; ++c) {
+      scan_targets[c].base = targets[c].child->data();
+      scan_targets[c].strides = strides[c].data();
+    }
+    scan_dense_rows(parent.data(), outer, inner, 0, num_rows, scan_targets);
+    return stats;
+  }
+
+  // Stripe-private accumulators for children that alias across stripes.
+  std::vector<std::vector<DenseArray>> scratch(num_targets);
+  for (std::size_t c = 0; c < num_targets; ++c) {
+    if (plan.aliased[c] == 0) continue;
+    scratch[c].reserve(static_cast<std::size_t>(plan.num_stripes));
+    for (std::int64_t s = 0; s < plan.num_stripes; ++s) {
+      scratch[c].emplace_back(targets[c].child->shape());
+    }
+  }
+  pool_of(options).parallel_for(
+      0, plan.num_stripes, 1,
+      [&](std::int64_t stripe_lo, std::int64_t stripe_hi) {
+        for (std::int64_t s = stripe_lo; s < stripe_hi; ++s) {
+          const std::int64_t r0 = s * plan.stripe_len;
+          const std::int64_t r1 =
+              std::min(num_rows, r0 + plan.stripe_len);
+          std::vector<ScanTarget> scan_targets(num_targets);
+          for (std::size_t c = 0; c < num_targets; ++c) {
+            scan_targets[c].base =
+                plan.aliased[c] != 0
+                    ? scratch[c][static_cast<std::size_t>(s)].data()
+                    : targets[c].child->data();
+            scan_targets[c].strides = strides[c].data();
+          }
+          scan_dense_rows(parent.data(), outer, inner, r0, r1, scan_targets);
+        }
+      },
+      options.max_workers);
+  for (std::size_t c = 0; c < num_targets; ++c) {
+    if (plan.aliased[c] != 0) {
+      merge_stripe_buffers(targets[c].child, scratch[c], options);
+    }
+  }
   return stats;
 }
 
-AggregationStats aggregate_children(
-    const SparseArray& parent, std::span<const AggregationTarget> targets) {
+namespace {
+
+/// Scans sparse chunks [chunk_begin, chunk_end), accumulating every
+/// target into `bases` (child arrays or stripe-private clones). Chunk
+/// order and per-chunk nonzero order are fixed, so the arithmetic does
+/// not depend on the striping.
+void scan_sparse_chunks(
+    const SparseArray& parent,
+    const std::vector<std::vector<std::int64_t>>& strides, bool use_table,
+    const std::vector<std::vector<std::int64_t>>& offset_table,
+    std::int64_t chunk_begin, std::int64_t chunk_end,
+    std::span<Value* const> bases) {
   const int m = parent.ndim();
-  const std::size_t num_targets = targets.size();
-  if (num_targets == 0) return {};
-  CUBIST_CHECK(m >= 1, "cannot aggregate a scalar parent");
-
-  std::vector<std::vector<std::int64_t>> strides;
-  strides.reserve(num_targets);
-  for (const auto& target : targets) {
-    strides.push_back(projection_strides(parent.shape(), target));
-  }
-  std::vector<Value*> child_data(num_targets);
-  for (std::size_t c = 0; c < num_targets; ++c) {
-    child_data[c] = targets[c].child->data();
-  }
-
-  // Fast path: every interior chunk shares the same shape, so the map
-  // (within-chunk offset) -> (child index contribution) is chunk-invariant.
-  // Build it once per target; interior non-zeros then cost one table lookup
-  // plus one add per target. Only worthwhile (and only affordable) for
-  // reasonably small chunks — past the threshold every chunk takes the
-  // decode path instead of allocating a giant table.
-  constexpr std::int64_t kMaxTableVolume = std::int64_t{1} << 22;
-  const Shape full_chunk_shape{parent.chunk_extents()};
-  const std::int64_t full_volume = full_chunk_shape.size();
-  const bool use_table = full_volume <= kMaxTableVolume;
-  std::vector<std::vector<std::int64_t>> offset_table(num_targets);
-  if (use_table) {
-    std::vector<std::int64_t> local(static_cast<std::size_t>(m), 0);
-    for (std::size_t c = 0; c < num_targets; ++c) {
-      offset_table[c].resize(static_cast<std::size_t>(full_volume));
-    }
-    for (std::int64_t off = 0; off < full_volume; ++off) {
-      full_chunk_shape.unravel(off, local.data());
-      for (std::size_t c = 0; c < num_targets; ++c) {
-        std::int64_t projected = 0;
-        for (int d = 0; d < m; ++d) {
-          projected += local[d] * strides[c][d];
-        }
-        offset_table[c][static_cast<std::size_t>(off)] = projected;
-      }
-    }
-  }
-
-  AggregationStats stats;
+  const std::size_t num_targets = strides.size();
   std::vector<std::int64_t> chunk_coords(static_cast<std::size_t>(m), 0);
   std::vector<std::int64_t> local(static_cast<std::size_t>(m), 0);
   std::vector<std::int64_t> base_ci(num_targets);
 
-  for (std::int64_t chunk_id = 0; chunk_id < parent.num_chunks(); ++chunk_id) {
+  for (std::int64_t chunk_id = chunk_begin; chunk_id < chunk_end;
+       ++chunk_id) {
     const auto offsets = parent.chunk_offsets(chunk_id);
     if (offsets.empty()) continue;
     const auto values = parent.chunk_values(chunk_id);
@@ -161,7 +408,7 @@ AggregationStats aggregate_children(
         const auto off = offsets[i];
         const Value v = values[i];
         for (std::size_t c = 0; c < num_targets; ++c) {
-          child_data[c][base_ci[c] + offset_table[c][off]] += v;
+          bases[c][base_ci[c] + offset_table[c][off]] += v;
         }
       }
     } else {
@@ -176,13 +423,114 @@ AggregationStats aggregate_children(
           for (int d = 0; d < m; ++d) {
             projected += local[d] * strides[c][d];
           }
-          child_data[c][projected] += v;
+          bases[c][projected] += v;
         }
       }
     }
-    stats.cells_scanned += static_cast<std::int64_t>(offsets.size());
   }
-  stats.updates = stats.cells_scanned * static_cast<std::int64_t>(num_targets);
+}
+
+}  // namespace
+
+AggregationStats aggregate_children(const SparseArray& parent,
+                                    std::span<const AggregationTarget> targets,
+                                    const AggregateOptions& options) {
+  const int m = parent.ndim();
+  const std::size_t num_targets = targets.size();
+  if (num_targets == 0) return {};
+  CUBIST_CHECK(m >= 1, "cannot aggregate a scalar parent");
+
+  std::vector<std::vector<std::int64_t>> strides;
+  strides.reserve(num_targets);
+  for (const auto& target : targets) {
+    strides.push_back(projection_strides(parent.shape(), target));
+  }
+
+  // Fast path: every interior chunk shares the same shape, so the map
+  // (within-chunk offset) -> (child index contribution) is chunk-invariant.
+  // Build it once per target; interior non-zeros then cost one table lookup
+  // plus one add per target. Only worthwhile (and only affordable) for
+  // reasonably small chunks — past the threshold every chunk takes the
+  // decode path instead of allocating a giant table. The table is integer
+  // data, so its construction parallelizes without ordering concerns.
+  constexpr std::int64_t kMaxTableVolume = std::int64_t{1} << 22;
+  const Shape full_chunk_shape{parent.chunk_extents()};
+  const std::int64_t full_volume = full_chunk_shape.size();
+  const bool use_table = full_volume <= kMaxTableVolume;
+  std::vector<std::vector<std::int64_t>> offset_table(num_targets);
+  if (use_table) {
+    for (std::size_t c = 0; c < num_targets; ++c) {
+      offset_table[c].resize(static_cast<std::size_t>(full_volume));
+    }
+    pool_of(options).parallel_for(
+        0, full_volume, std::int64_t{1} << 14,
+        [&](std::int64_t lo, std::int64_t hi) {
+          std::vector<std::int64_t> local(static_cast<std::size_t>(m), 0);
+          for (std::int64_t off = lo; off < hi; ++off) {
+            full_chunk_shape.unravel(off, local.data());
+            for (std::size_t c = 0; c < num_targets; ++c) {
+              std::int64_t projected = 0;
+              for (int d = 0; d < m; ++d) {
+                projected += local[d] * strides[c][d];
+              }
+              offset_table[c][static_cast<std::size_t>(off)] = projected;
+            }
+          }
+        },
+        options.max_workers);
+  }
+
+  const std::vector<int> positions = target_positions(targets);
+  const StripePlan plan = plan_sparse_scan(parent.shape(),
+                                           parent.chunk_grid(), positions,
+                                           parent.nnz());
+  AggregationStats stats;
+  stats.cells_scanned = parent.nnz();
+  stats.updates =
+      stats.cells_scanned * static_cast<std::int64_t>(num_targets);
+  stats.scratch_bytes = plan.scratch_bytes;
+
+  if (plan.num_stripes <= 1) {
+    std::vector<Value*> bases(num_targets);
+    for (std::size_t c = 0; c < num_targets; ++c) {
+      bases[c] = targets[c].child->data();
+    }
+    scan_sparse_chunks(parent, strides, use_table, offset_table, 0,
+                       parent.num_chunks(), bases);
+    return stats;
+  }
+
+  std::vector<std::vector<DenseArray>> scratch(num_targets);
+  for (std::size_t c = 0; c < num_targets; ++c) {
+    if (plan.aliased[c] == 0) continue;
+    scratch[c].reserve(static_cast<std::size_t>(plan.num_stripes));
+    for (std::int64_t s = 0; s < plan.num_stripes; ++s) {
+      scratch[c].emplace_back(targets[c].child->shape());
+    }
+  }
+  pool_of(options).parallel_for(
+      0, plan.num_stripes, 1,
+      [&](std::int64_t stripe_lo, std::int64_t stripe_hi) {
+        for (std::int64_t s = stripe_lo; s < stripe_hi; ++s) {
+          const std::int64_t c0 = s * plan.stripe_len;
+          const std::int64_t c1 =
+              std::min(parent.num_chunks(), c0 + plan.stripe_len);
+          std::vector<Value*> bases(num_targets);
+          for (std::size_t c = 0; c < num_targets; ++c) {
+            bases[c] = plan.aliased[c] != 0
+                           ? scratch[c][static_cast<std::size_t>(s)].data()
+                           : targets[c].child->data();
+          }
+          scan_sparse_chunks(parent, strides, use_table, offset_table, c0,
+                             c1, bases);
+        }
+      },
+      options.max_workers);
+  for (std::size_t c = 0; c < num_targets; ++c) {
+    if (plan.aliased[c] != 0) {
+      merge_stripe_buffers(targets[c].child, scratch[c], options);
+    }
+  }
   return stats;
 }
 
@@ -223,7 +571,7 @@ AggregationStats project(const DenseArray& parent,
   Value* dst = out->data();
   if (m == 0) {
     dst[0] += parent[0];
-    return {1, 1};
+    return {1, 1, 0};
   }
   std::vector<std::int64_t> index(static_cast<std::size_t>(m), 0);
   for (std::int64_t linear = 0; linear < parent.size(); ++linear) {
@@ -234,7 +582,7 @@ AggregationStats project(const DenseArray& parent,
     }
     dst[projected] += parent[linear];
   }
-  return {parent.size(), parent.size()};
+  return {parent.size(), parent.size(), 0};
 }
 
 AggregationStats project(const SparseArray& parent,

@@ -1,8 +1,11 @@
 #include "core/parallel_builder.h"
 
+#include <algorithm>
+
 #include "array/aggregate.h"
 #include "array/aggregate_op.h"
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "lattice/aggregation_tree.h"
 #include "lattice/memory_sim.h"
 
@@ -23,6 +26,14 @@ class RankBuilder {
     CUBIST_CHECK(grid_.ndims() == n_, "grid rank mismatch");
     CUBIST_CHECK(options_.reduce_message_elements >= 0,
                  "negative reduction message cap");
+    // All grid.size() ranks scan concurrently (SPMD threads under the
+    // minimpi runtime), so each rank gets an even share of the pool; a
+    // share of 1 makes every scan run inline on the rank's own thread.
+    // This cap is redundant with the runtime's ScopedActiveRanks
+    // registration, but keeps ranks from oversubscribing even when
+    // build_cube_parallel_rank is driven by some other harness.
+    agg_options_.max_workers =
+        std::max(1, ThreadPool::global().size() / grid_.size());
   }
 
   std::map<std::uint32_t, DenseArray> run(const SparseArray& local_root,
@@ -67,6 +78,8 @@ class RankBuilder {
         scan_parent(parent_array, targets, input_level);
     stats_.cells_scanned += scan.cells_scanned;
     stats_.updates += scan.updates;
+    stats_.peak_scratch_bytes =
+        std::max(stats_.peak_scratch_bytes, scan.scratch_bytes);
     comm_.charge_compute(scan.cells_scanned, scan.updates);
   }
 
@@ -74,7 +87,7 @@ class RankBuilder {
                                std::span<const AggregationTarget> targets,
                                bool input_level) {
     if (options_.op == AggregateOp::kSum) {
-      return aggregate_children(parent, targets);
+      return aggregate_children(parent, targets, agg_options_);
     }
     return aggregate_children_op(parent, targets, options_.op, input_level);
   }
@@ -83,7 +96,7 @@ class RankBuilder {
                                std::span<const AggregationTarget> targets,
                                bool /*input_level*/) {
     if (options_.op == AggregateOp::kSum) {
-      return aggregate_children(parent, targets);
+      return aggregate_children(parent, targets, agg_options_);
     }
     return aggregate_children_op(parent, targets, options_.op);
   }
@@ -144,6 +157,7 @@ class RankBuilder {
   AggregationTree tree_;
   std::vector<std::int64_t> global_sizes_;
   ParallelOptions options_;
+  AggregateOptions agg_options_;
   std::map<std::uint32_t, DenseArray> live_;
   std::map<std::uint32_t, DenseArray> done_;
   MemoryLedger ledger_;

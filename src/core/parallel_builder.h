@@ -60,6 +60,9 @@ struct ParallelBuildStats {
   std::int64_t written_bytes = 0;
   std::int64_t cells_scanned = 0;
   std::int64_t updates = 0;
+  /// High-water mark of this rank's transient stripe-private accumulator
+  /// bytes across its scans (a max, not a sum — released per scan).
+  std::int64_t peak_scratch_bytes = 0;
   /// Virtual clock when this rank finished construction (before any
   /// result gathering).
   double build_clock_seconds = 0.0;

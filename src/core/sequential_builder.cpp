@@ -1,5 +1,6 @@
 #include "core/sequential_builder.h"
 
+#include <algorithm>
 #include <map>
 #include <vector>
 
@@ -14,10 +15,12 @@ namespace {
 
 class Builder {
  public:
-  Builder(std::vector<std::int64_t> sizes, AggregateOp op)
+  Builder(std::vector<std::int64_t> sizes, AggregateOp op,
+          const AggregateOptions& agg_options)
       : sizes_(std::move(sizes)),
         n_(static_cast<int>(sizes_.size())),
         op_(op),
+        agg_options_(agg_options),
         tree_(n_),
         result_(sizes_) {}
 
@@ -63,13 +66,16 @@ class Builder {
         scan_parent(parent_array, targets, input_level);
     stats_.cells_scanned += scan.cells_scanned;
     stats_.updates += scan.updates;
+    stats_.peak_scratch_bytes =
+        std::max(stats_.peak_scratch_bytes, scan.scratch_bytes);
   }
 
   AggregationStats scan_parent(const DenseArray& parent,
                                std::span<const AggregationTarget> targets,
                                bool input_level) {
     if (op_ == AggregateOp::kSum) {
-      return aggregate_children(parent, targets);  // specialized fast path
+      // Specialized fast path: striped over the pool.
+      return aggregate_children(parent, targets, agg_options_);
     }
     return aggregate_children_op(parent, targets, op_, input_level);
   }
@@ -78,7 +84,7 @@ class Builder {
                                std::span<const AggregationTarget> targets,
                                bool /*input_level*/) {
     if (op_ == AggregateOp::kSum) {
-      return aggregate_children(parent, targets);
+      return aggregate_children(parent, targets, agg_options_);
     }
     return aggregate_children_op(parent, targets, op_);
   }
@@ -115,6 +121,7 @@ class Builder {
   std::vector<std::int64_t> sizes_;
   int n_;
   AggregateOp op_;
+  AggregateOptions agg_options_;
   AggregationTree tree_;
   CubeResult result_;
   std::map<std::uint32_t, DenseArray> live_;
@@ -125,14 +132,16 @@ class Builder {
 }  // namespace
 
 CubeResult build_cube_sequential(const DenseArray& root, BuildStats* stats,
-                                 AggregateOp op) {
-  Builder builder(root.shape().extents(), op);
+                                 AggregateOp op,
+                                 const AggregateOptions& agg_options) {
+  Builder builder(root.shape().extents(), op, agg_options);
   return builder.run(root, stats);
 }
 
 CubeResult build_cube_sequential(const SparseArray& root, BuildStats* stats,
-                                 AggregateOp op) {
-  Builder builder(root.shape().extents(), op);
+                                 AggregateOp op,
+                                 const AggregateOptions& agg_options) {
+  Builder builder(root.shape().extents(), op, agg_options);
   return builder.run(root, stats);
 }
 

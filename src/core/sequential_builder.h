@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "array/aggregate.h"
 #include "array/aggregate_op.h"
 #include "array/dense_array.h"
 #include "array/sparse_array.h"
@@ -29,20 +30,28 @@ struct BuildStats {
   std::int64_t cells_scanned = 0;
   /// Aggregation updates performed.
   std::int64_t updates = 0;
+  /// High-water mark of transient stripe-private accumulator bytes across
+  /// all scans (released scan-by-scan, so a max, not a sum; bounded by
+  /// scan_scratch_bound of the largest planned scan).
+  std::int64_t peak_scratch_bytes = 0;
 };
 
 /// Builds the full cube from a dense root array. The result holds every
 /// proper view (the root view is the input itself and is not duplicated).
 /// `op` selects the aggregate (extension; the paper fixes SUM — SUM keeps
-/// the specialized fast kernels).
+/// the specialized fast kernels). `agg_options` controls intra-scan
+/// parallelism (pool + per-call worker cap); the defaults use the global
+/// pool. Results are bit-identical for every options setting.
 CubeResult build_cube_sequential(const DenseArray& root,
                                  BuildStats* stats = nullptr,
-                                 AggregateOp op = AggregateOp::kSum);
+                                 AggregateOp op = AggregateOp::kSum,
+                                 const AggregateOptions& agg_options = {});
 
 /// Builds the full cube from a chunk-offset sparse root array (the
 /// paper's experimental configuration: sparse input, dense outputs).
 CubeResult build_cube_sequential(const SparseArray& root,
                                  BuildStats* stats = nullptr,
-                                 AggregateOp op = AggregateOp::kSum);
+                                 AggregateOp op = AggregateOp::kSum,
+                                 const AggregateOptions& agg_options = {});
 
 }  // namespace cubist

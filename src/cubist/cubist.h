@@ -38,6 +38,7 @@
 #include "baselines/tree_builder.h"  // prior-work spanning-tree baselines
 #include "common/dimset.h"         // lattice node = set of dimensions
 #include "common/mathutil.h"
+#include "common/thread_pool.h"    // intra-rank parallel_for engine
 #include "common/rng.h"
 #include "common/table.h"
 #include "common/timer.h"

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "minimpi/runtime_state.h"
 
@@ -18,6 +19,11 @@ RunReport Runtime::run(int num_ranks, const CostModel& model,
 
   RuntimeState state(num_ranks, model);
   std::vector<double> rank_seconds(static_cast<std::size_t>(num_ranks), 0.0);
+
+  // The SPMD rank threads all share the process-wide ThreadPool for their
+  // intra-rank scans; register them so each rank's parallel_for budget
+  // shrinks to pool_size / num_ranks and the machine never oversubscribes.
+  ThreadPool::ScopedActiveRanks pool_share(num_ranks);
 
   std::mutex error_mutex;
   std::exception_ptr first_error;

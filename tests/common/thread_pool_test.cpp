@@ -1,0 +1,194 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cubist {
+namespace {
+
+TEST(ThreadPoolTest, SizeCountsTheCallingThread) {
+  ThreadPool one(1);
+  EXPECT_EQ(one.size(), 1);
+  ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4);
+}
+
+TEST(ThreadPoolTest, ParseThreadsAcceptsOnlyPlainPositiveIntegers) {
+  EXPECT_EQ(ThreadPool::parse_threads(nullptr), 0);
+  EXPECT_EQ(ThreadPool::parse_threads(""), 0);
+  EXPECT_EQ(ThreadPool::parse_threads("abc"), 0);
+  EXPECT_EQ(ThreadPool::parse_threads("4x"), 0);
+  EXPECT_EQ(ThreadPool::parse_threads("0"), 0);
+  EXPECT_EQ(ThreadPool::parse_threads("-2"), 0);
+  EXPECT_EQ(ThreadPool::parse_threads("99999"), 0);  // above the sanity cap
+  EXPECT_EQ(ThreadPool::parse_threads("1"), 1);
+  EXPECT_EQ(ThreadPool::parse_threads("7"), 7);
+  EXPECT_EQ(ThreadPool::parse_threads("4096"), 4096);
+}
+
+TEST(ThreadPoolTest, EnvOverrideSizesTheDefaultConstructor) {
+  ASSERT_EQ(setenv("CUBIST_THREADS", "3", /*overwrite=*/1), 0);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 3);
+  EXPECT_EQ(ThreadPool::configured_threads(), 3);
+  ASSERT_EQ(unsetenv("CUBIST_THREADS"), 0);
+  EXPECT_GE(ThreadPool::configured_threads(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::int64_t kN = 10007;  // prime: uneven last chunk
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  pool.parallel_for(0, kN, 64, [&](std::int64_t lo, std::int64_t hi) {
+    ASSERT_LT(lo, hi);
+    ASSERT_LE(hi - lo, 64);
+    for (std::int64_t i = lo; i < hi; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, NonZeroBeginIsRespected) {
+  ThreadPool pool(3);
+  std::atomic<std::int64_t> sum{0};
+  pool.parallel_for(100, 200, 7, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), (100 + 199) * 100 / 2);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::pair<std::int64_t, std::int64_t>> calls;
+  std::vector<std::thread::id> seen;
+  pool.parallel_for(0, 100, 10, [&](std::int64_t lo, std::int64_t hi) {
+    calls.emplace_back(lo, hi);  // inline: no race
+    seen.push_back(std::this_thread::get_id());
+  });
+  // Inline execution runs the whole range as one call on the caller.
+  ASSERT_EQ(calls.size(), 1u);
+  EXPECT_EQ(calls[0], (std::pair<std::int64_t, std::int64_t>{0, 100}));
+  EXPECT_EQ(seen[0], caller);
+}
+
+TEST(ThreadPoolTest, MaxWorkersOneRunsInline) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  pool.parallel_for(
+      0, 100, 10,
+      [&](std::int64_t, std::int64_t) {
+        seen.push_back(std::this_thread::get_id());
+      },
+      /*max_workers=*/1);
+  ASSERT_EQ(seen.size(), 1u);  // whole range in one inline call
+  EXPECT_EQ(seen[0], caller);
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagatesAfterDraining) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> visited{0};
+  const auto run = [&] {
+    pool.parallel_for(0, 1000, 1, [&](std::int64_t lo, std::int64_t) {
+      visited.fetch_add(1);
+      CUBIST_CHECK(lo != 500, "injected failure at " << lo);
+    });
+  };
+  EXPECT_THROW(run(), InvalidArgument);
+  // Every chunk still ran exactly once (the job drains before rethrow).
+  EXPECT_EQ(visited.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ScopedActiveRanksStacksAndRestores) {
+  const int base = ThreadPool::active_ranks();
+  {
+    ThreadPool::ScopedActiveRanks four(4);
+    EXPECT_EQ(ThreadPool::active_ranks(), base + 3);
+    {
+      ThreadPool::ScopedActiveRanks two(2);
+      EXPECT_EQ(ThreadPool::active_ranks(), base + 4);
+    }
+    EXPECT_EQ(ThreadPool::active_ranks(), base + 3);
+  }
+  EXPECT_EQ(ThreadPool::active_ranks(), base);
+}
+
+TEST(ThreadPoolTest, ActiveRanksShrinkTheBudgetToInline) {
+  ThreadPool pool(2);
+  ThreadPool::ScopedActiveRanks ranks(8);  // budget = 2 / 8 -> 1
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  pool.parallel_for(0, 50, 5, [&](std::int64_t, std::int64_t) {
+    seen.push_back(std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], caller);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsableAndStable) {
+  ThreadPool& a = ThreadPool::global();
+  ThreadPool& b = ThreadPool::global();
+  EXPECT_EQ(&a, &b);
+  std::atomic<std::int64_t> sum{0};
+  a.parallel_for(0, 64, 8, [&](std::int64_t lo, std::int64_t hi) {
+    sum.fetch_add(hi - lo);
+  });
+  EXPECT_EQ(sum.load(), 64);
+}
+
+// Stress: many back-to-back tiny jobs exercise the publish/claim/retire
+// handshake far more often than real scans do. Run under tsan, this is
+// the lock-discipline regression test for the pool.
+TEST(ThreadPoolStressTest, ManyTinyJobsBackToBack) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  for (int iteration = 0; iteration < 3000; ++iteration) {
+    pool.parallel_for(0, 8, 1, [&](std::int64_t lo, std::int64_t hi) {
+      total.fetch_add(hi - lo);
+    });
+  }
+  EXPECT_EQ(total.load(), 3000 * 8);
+}
+
+TEST(ThreadPoolStressTest, ConcurrentCallersShareThePool) {
+  // Several caller threads issue parallel_for against ONE pool at once —
+  // the minimpi configuration. Totals must come out exact.
+  ThreadPool pool(4);
+  constexpr int kCallers = 6;
+  std::atomic<std::int64_t> total{0};
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([&] {
+      for (int iteration = 0; iteration < 200; ++iteration) {
+        pool.parallel_for(0, 32, 4, [&](std::int64_t lo, std::int64_t hi) {
+          total.fetch_add(hi - lo);
+        });
+      }
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  EXPECT_EQ(total.load(), kCallers * 200 * 32);
+}
+
+}  // namespace
+}  // namespace cubist

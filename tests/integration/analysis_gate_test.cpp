@@ -3,6 +3,8 @@
 // runtime agree byte-for-byte — and the verified cube is still correct.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cubist/cubist.h"
 
 namespace cubist {
@@ -75,6 +77,42 @@ TEST(AnalysisGateTest, StandaloneVerifierCertifiesDriverSchedule) {
   EXPECT_EQ(report.planned_total_elements, report.predicted_total_elements);
   EXPECT_LE(report.max_peak_live_bytes, report.memory_bound_bytes);
   EXPECT_GT(report.planned_messages, 0);
+  EXPECT_LE(report.max_scan_scratch_bytes, kScanScratchBudgetBytes);
+}
+
+TEST(AnalysisGateTest, MeasuredScratchStaysUnderTheStaticBound) {
+  // The kernels' transient stripe-scratch high-water, as measured by the
+  // builders, must never exceed what the static plan charged per rank —
+  // the Theorem-4 extension for intra-rank parallelism. Sized so the root
+  // scans actually stripe (blocks >= kMinCellsPerStripe cells).
+  SparseSpec spec;
+  spec.sizes = {64, 48, 32};
+  spec.density = 0.4;
+  spec.seed = 17;
+  const std::vector<int> log_splits = {1, 1, 0};
+  const auto report =
+      run_parallel_cube(spec.sizes, log_splits, CostModel{}, provider_of(spec),
+                        /*collect_result=*/false, gated_options());
+
+  ScheduleSpec sched;
+  sched.sizes = spec.sizes;
+  sched.log_splits = log_splits;
+  const CommPlan plan = build_comm_plan(sched);
+  ASSERT_EQ(report.rank_stats.size(), plan.ranks.size());
+  std::int64_t max_measured = 0;
+  for (std::size_t r = 0; r < plan.ranks.size(); ++r) {
+    EXPECT_LE(report.rank_stats[r].peak_scratch_bytes,
+              plan.ranks[r].max_scan_scratch_bytes)
+        << "rank " << r;
+    max_measured =
+        std::max(max_measured, report.rank_stats[r].peak_scratch_bytes);
+  }
+  // The bound is also surfaced by the verifier report, and is itself
+  // capped by the policy budget.
+  const AnalysisReport verified = verify_schedule(sched);
+  EXPECT_LE(max_measured, verified.max_scan_scratch_bytes);
+  EXPECT_LE(verified.max_scan_scratch_bytes, kScanScratchBudgetBytes);
+  EXPECT_GT(verified.max_scan_scratch_bytes, 0);
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Run the kernel microbenchmarks and write a normalized BENCH_kernels.json.
+
+Wraps the google-benchmark binary (bench/bench_kernels) with
+--benchmark_format=json, sweeps CUBIST_THREADS over a thread list, and
+normalizes the per-run JSON into one stable document:
+
+  {
+    "schema": "cubist-bench-kernels/1",
+    "nproc": <host cores>,
+    "runs": [            # one entry per CUBIST_THREADS setting
+      {"threads": 1, "benchmarks": [
+         {"name": "BM_DenseMultiway/3/3", "real_time_ms": ...,
+          "cpu_time_ms": ..., "items_per_second": ...}, ...]},
+      ...
+    ],
+    "speedups": {        # multi-thread real-time speedup vs threads=1
+      "BM_DenseMultiway/3/3": {"threads": 4, "speedup": 2.9}, ...
+    }
+  }
+
+The speedups block is how docs/PERFORMANCE.md's headline numbers are
+regenerated; CI's bench-smoke job runs `--smoke` (tiny min-time, dense
+kernels only) purely to prove the harness and the JSON stay well-formed.
+
+Usage:
+  tools/bench_report.py                        # full sweep, 1 and nproc
+  tools/bench_report.py --threads 1,2,4,8      # explicit sweep
+  tools/bench_report.py --smoke                # CI smoke run
+  tools/bench_report.py --binary build-release/bench/bench_kernels
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+DEFAULT_OUT = "BENCH_kernels.json"
+DEFAULT_BINARY_DIRS = ("build-release", "build")
+SCHEMA = "cubist-bench-kernels/1"
+
+
+def find_binary(explicit):
+    if explicit:
+        if not os.path.isfile(explicit):
+            sys.exit(f"bench binary not found: {explicit}")
+        return explicit
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(here)
+    for build in DEFAULT_BINARY_DIRS:
+        candidate = os.path.join(root, build, "bench", "bench_kernels")
+        if os.path.isfile(candidate):
+            return candidate
+    sys.exit(
+        "bench_kernels binary not found under "
+        + " or ".join(DEFAULT_BINARY_DIRS)
+        + "; build it (cmake --preset release && "
+        "cmake --build --preset release --target bench_kernels) "
+        "or pass --binary"
+    )
+
+
+def run_once(binary, threads, bench_filter, min_time):
+    env = dict(os.environ)
+    env["CUBIST_THREADS"] = str(threads)
+    cmd = [
+        binary,
+        "--benchmark_format=json",
+        f"--benchmark_min_time={min_time}",
+    ]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    result = subprocess.run(
+        cmd, env=env, capture_output=True, text=True, check=False
+    )
+    if result.returncode != 0:
+        sys.stderr.write(result.stderr)
+        sys.exit(f"benchmark run failed (threads={threads})")
+    return json.loads(result.stdout)
+
+
+def to_ms(value, unit):
+    scale = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+    return value * scale.get(unit, 1.0)
+
+
+def normalize(raw):
+    """One google-benchmark JSON document -> list of normalized entries."""
+    entries = []
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        unit = bench.get("time_unit", "ns")
+        entry = {
+            "name": bench["name"],
+            "real_time_ms": round(to_ms(bench["real_time"], unit), 6),
+            "cpu_time_ms": round(to_ms(bench["cpu_time"], unit), 6),
+            "iterations": bench.get("iterations", 0),
+        }
+        if "items_per_second" in bench:
+            entry["items_per_second"] = round(bench["items_per_second"], 1)
+        entries.append(entry)
+    return entries
+
+
+def compute_speedups(runs):
+    """Real-time speedup of the largest thread count vs threads=1."""
+    by_threads = {run["threads"]: run for run in runs}
+    if 1 not in by_threads or len(by_threads) < 2:
+        return {}
+    top = max(by_threads)
+    if top == 1:
+        return {}
+    base = {b["name"]: b["real_time_ms"] for b in by_threads[1]["benchmarks"]}
+    speedups = {}
+    for bench in by_threads[top]["benchmarks"]:
+        name = bench["name"]
+        if name in base and bench["real_time_ms"] > 0:
+            speedups[name] = {
+                "threads": top,
+                "speedup": round(base[name] / bench["real_time_ms"], 3),
+            }
+    return speedups
+
+
+def parse_threads(text):
+    threads = []
+    for piece in text.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        value = int(piece)
+        if value < 1:
+            sys.exit(f"thread counts must be >= 1, got {value}")
+        if value not in threads:
+            threads.append(value)
+    if not threads:
+        sys.exit("empty thread list")
+    return threads
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--binary", help="bench_kernels binary path")
+    parser.add_argument("--out", default=DEFAULT_OUT, help="output JSON path")
+    parser.add_argument(
+        "--threads",
+        help="comma-separated CUBIST_THREADS sweep (default: 1,<nproc>)",
+    )
+    parser.add_argument(
+        "--filter", default="", help="--benchmark_filter regex passthrough"
+    )
+    parser.add_argument(
+        "--min-time", type=float, default=0.5, help="per-case min seconds"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: dense kernels only, tiny min-time, still writes JSON",
+    )
+    args = parser.parse_args()
+
+    nproc = os.cpu_count() or 1
+    if args.threads:
+        threads_list = parse_threads(args.threads)
+    else:
+        threads_list = [1] if nproc == 1 else [1, nproc]
+
+    bench_filter = args.filter
+    min_time = args.min_time
+    if args.smoke:
+        bench_filter = bench_filter or "BM_DenseMultiway|BM_SparseMultiway"
+        min_time = 0.01
+
+    binary = find_binary(args.binary)
+    runs = []
+    for threads in threads_list:
+        print(f"running {os.path.basename(binary)} with "
+              f"CUBIST_THREADS={threads} ...")
+        raw = run_once(binary, threads, bench_filter, min_time)
+        runs.append({"threads": threads, "benchmarks": normalize(raw)})
+
+    report = {
+        "schema": SCHEMA,
+        "generated_by": "tools/bench_report.py",
+        "smoke": args.smoke,
+        "nproc": nproc,
+        "runs": runs,
+        "speedups": compute_speedups(runs),
+    }
+    with open(args.out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {args.out} "
+          f"({sum(len(r['benchmarks']) for r in runs)} benchmark entries, "
+          f"{len(report['speedups'])} speedups)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
