@@ -61,7 +61,129 @@ void BM_CommVolume(benchmark::State& state) {
   state.counters["MB"] = static_cast<double>(predicted) / 1e6;
 }
 
+FigureTable& engine_table() {
+  static FigureTable table(
+      "Communication engine: logical vs wire bytes and virtual clock "
+      "across sparsities, adaptive encoding on/off (3-D grid, p=8)",
+      {"shape", "density", "encode", "logical_MB", "wire_MB", "wire_saving",
+       "sim_time_s"});
+  return table;
+}
+
+std::string shape_name(const std::vector<std::int64_t>& sizes) {
+  std::string name;
+  for (std::int64_t s : sizes) {
+    if (!name.empty()) name += 'x';
+    name += std::to_string(s);
+  }
+  return name;
+}
+
+/// One Figure-7-style construction with the engine knob under study. The
+/// committed BENCH_comm.json (tools/bench_report.py --comm) is generated
+/// from these cases; CI smoke runs only the small shape.
+void BM_CommEngine(benchmark::State& state,
+                   const std::vector<std::int64_t>& sizes, double density,
+                   bool encode) {
+  const std::vector<int> splits{1, 1, 1, 0};
+  const BlockProvider provider =
+      DatasetCache::instance().provider(sizes, density, kSeed);
+  ParallelOptions options;
+  options.encode_wire = encode;
+  ParallelCubeReport report;
+  for (auto _ : state) {
+    report = run_parallel_cube(sizes, splits, paper_model(), provider,
+                               /*collect_result=*/false, options);
+    state.SetIterationTime(report.construction_seconds);
+  }
+  CUBIST_ASSERT(report.construction_wire_bytes <= report.construction_bytes,
+                "wire bytes exceeded logical bytes");
+  CUBIST_ASSERT(encode ||
+                    report.construction_wire_bytes == report.construction_bytes,
+                "disabled codec must ship exactly the logical bytes");
+  const double logical_mb =
+      static_cast<double>(report.construction_bytes) / 1e6;
+  const double wire_mb =
+      static_cast<double>(report.construction_wire_bytes) / 1e6;
+  const double saving =
+      logical_mb > 0 ? 1.0 - wire_mb / logical_mb : 0.0;
+  engine_table().add(
+      {shape_name(sizes),
+       TextTable::fixed(density * 100.0, 0) + "%", encode ? "on" : "off",
+       TextTable::fixed(logical_mb, 3), TextTable::fixed(wire_mb, 3),
+       TextTable::fixed(saving * 100.0, 1) + "%",
+       TextTable::fixed(report.construction_seconds, 3)});
+  state.counters["density_pct"] = density * 100.0;
+  state.counters["encode"] = encode ? 1.0 : 0.0;
+  state.counters["logical_MB"] = logical_mb;
+  state.counters["wire_MB"] = wire_mb;
+  state.counters["sim_s"] = report.construction_seconds;
+}
+
+FigureTable& chunk_table() {
+  static FigureTable table(
+      "Pipelined reduction: message cap sweep (32^4, 10% density, 3-D "
+      "grid)",
+      {"cap_elements", "messages", "wire_MB", "sim_time_s"});
+  return table;
+}
+
+/// reduce_message_elements sweep: finer chunks pipeline the binomial tree
+/// (lower clock) until per-message overhead dominates.
+void BM_ReduceChunkSweep(benchmark::State& state) {
+  const std::int64_t cap = state.range(0);
+  const std::vector<int> splits{1, 1, 1, 0};
+  const BlockProvider provider =
+      DatasetCache::instance().provider(kSizes, 0.10, kSeed);
+  ParallelOptions options;
+  options.reduce_message_elements = cap;
+  ParallelCubeReport report;
+  for (auto _ : state) {
+    report = run_parallel_cube(kSizes, splits, paper_model(), provider,
+                               /*collect_result=*/false, options);
+    state.SetIterationTime(report.construction_seconds);
+  }
+  chunk_table().add(
+      {cap == 0 ? "whole block" : std::to_string(cap),
+       std::to_string(report.run.volume.total_messages),
+       TextTable::fixed(
+           static_cast<double>(report.construction_wire_bytes) / 1e6, 3),
+       TextTable::fixed(report.construction_seconds, 3)});
+  state.counters["messages"] =
+      static_cast<double>(report.run.volume.total_messages);
+  state.counters["sim_s"] = report.construction_seconds;
+}
+
 void register_benchmarks() {
+  const std::vector<std::int64_t> fig7_sizes{64, 64, 64, 64};
+  const std::vector<std::int64_t> smoke_sizes{16, 16, 16, 16};
+  for (const auto& sizes : {fig7_sizes, smoke_sizes}) {
+    const std::string shape =
+        sizes == smoke_sizes ? "smoke" : "fig7";
+    for (double density : kDensities) {
+      for (bool encode : {false, true}) {
+        const std::string name =
+            "BM_CommEngine/" + shape + "/d" +
+            std::to_string(static_cast<int>(density * 100)) +
+            (encode ? "/enc" : "/raw");
+        ::benchmark::RegisterBenchmark(
+            name.c_str(),
+            [sizes, density, encode](benchmark::State& state) {
+              BM_CommEngine(state, sizes, density, encode);
+            })
+            ->UseManualTime()
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+  for (std::int64_t cap : {0, 1024, 4096, 16384, 65536}) {
+    ::benchmark::RegisterBenchmark("BM_ReduceChunkSweep", BM_ReduceChunkSweep)
+        ->Arg(cap)
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
   for (int log_p : {3, 4}) {
     const auto partitions =
         enumerate_partitions(static_cast<int>(kSizes.size()), log_p);
@@ -83,7 +205,11 @@ void register_benchmarks() {
   }
 }
 
-void print_tables() { volume_table().print(); }
+void print_tables() {
+  volume_table().print();
+  engine_table().print();
+  chunk_table().print();
+}
 
 }  // namespace
 }  // namespace cubist::bench

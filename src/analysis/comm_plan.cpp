@@ -95,9 +95,14 @@ class RankPlanner {
     }
   }
 
-  /// The binomial-tree reduction of Comm::reduce, as planned operations:
-  /// in round `step`, members with the bit set ship their partial (in
-  /// cap-sized pieces) to the member `step` below and drop out.
+  /// The chunk-pipelined binomial-tree reduction of Comm::reduce, as
+  /// planned operations. Chunk-outer, step-inner: each cap-sized chunk
+  /// runs the whole binomial schedule (receive from below in ascending
+  /// step order, then — for interior members — ship upward) before the
+  /// next chunk starts. Zero-size blocks plan nothing (the runtime skips
+  /// the wire entirely). Planned element counts are LOGICAL (dense)
+  /// sizes; the adaptive wire codec only ever shrinks them, which is what
+  /// the wire audit certifies.
   void plan_reduce(const std::vector<int>& group, DimSet child) {
     const int g = static_cast<int>(group.size());
     int me = -1;
@@ -106,22 +111,20 @@ class RankPlanner {
     }
     CUBIST_ASSERT(me >= 0, "rank not in its own axis group");
     const std::int64_t total = view_cells(child);
+    if (total == 0 || g == 1) return;
     const std::int64_t piece = spec_.reduce_message_elements == 0
                                    ? total
                                    : spec_.reduce_message_elements;
-    for (int step = 1; step < g; step <<= 1) {
-      if ((me & step) != 0) {
-        for (std::int64_t offset = 0; offset < total; offset += piece) {
-          const std::int64_t count = std::min(piece, total - offset);
+    for (std::int64_t offset = 0; offset < total; offset += piece) {
+      const std::int64_t count = std::min(piece, total - offset);
+      for (int step = 1; step < g; step <<= 1) {
+        if ((me & step) != 0) {
           plan_.ops.push_back({PlannedOp::Kind::kSend, group[me - step],
                                child.mask(), count});
           (*elements_by_view_)[child.mask()] += count;
+          break;  // this member is done with this chunk
         }
-        return;
-      }
-      if (me + step < g) {
-        for (std::int64_t offset = 0; offset < total; offset += piece) {
-          const std::int64_t count = std::min(piece, total - offset);
+        if (me + step < g) {
           plan_.ops.push_back({PlannedOp::Kind::kRecv, group[me + step],
                                child.mask(), count});
         }

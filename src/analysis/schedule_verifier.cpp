@@ -175,6 +175,10 @@ void check_volume(const ScheduleSpec& spec, const CommPlan& plan,
     const DimSet view = DimSet::from_mask(mask);
     const std::int64_t predicted =
         edge_volume_elements(spec.sizes, spec.log_splits, view.complement(n));
+    if (predicted > 0) {
+      report.dense_bound_bytes_by_view[mask] =
+          predicted * spec.bytes_per_cell;
+    }
     const auto it = planned_by_view.find(mask);
     const std::int64_t planned =
         it == planned_by_view.end() ? std::int64_t{0} : it->second;
@@ -347,6 +351,8 @@ const char* to_string(ViolationCode code) {
       return "wrong_lead";
     case ViolationCode::kLedgerVolumeMismatch:
       return "ledger_volume_mismatch";
+    case ViolationCode::kWireVolumeExceedsBound:
+      return "wire_volume_exceeds_bound";
     case ViolationCode::kUnknownViewTag:
       return "unknown_view_tag";
   }
@@ -384,7 +390,14 @@ std::string AnalysisReport::to_json() const {
       << ",\"max_peak_live_bytes\":" << max_peak_live_bytes
       << ",\"memory_bound_bytes\":" << memory_bound_bytes
       << ",\"max_scan_scratch_bytes\":" << max_scan_scratch_bytes
-      << ",\"violations\":[";
+      << ",\"dense_bound_bytes_by_view\":{";
+  bool first_bound = true;
+  for (const auto& [mask, bytes] : dense_bound_bytes_by_view) {
+    if (!first_bound) out << ",";
+    first_bound = false;
+    out << "\"" << mask << "\":" << bytes;
+  }
+  out << "},\"violations\":[";
   for (std::size_t i = 0; i < violations.size(); ++i) {
     const Violation& violation = violations[i];
     if (i > 0) out << ",";
@@ -458,6 +471,61 @@ AnalysisReport audit_measured_volume(
     if (mask >= root_mask && bytes != 0) {
       std::ostringstream msg;
       msg << "ledger recorded " << bytes << " bytes under tag " << mask
+          << " which is not a proper lattice view";
+      add_violation(report, ViolationCode::kUnknownViewTag, kNoRank, mask, 0,
+                    bytes, msg.str());
+    }
+  }
+  return report;
+}
+
+AnalysisReport audit_wire_volume(
+    const ScheduleSpec& spec,
+    const std::map<std::uint32_t, std::int64_t>& measured_wire_bytes_by_view,
+    bool require_equal) {
+  const CommPlan plan = build_comm_plan(spec);
+  AnalysisReport report;
+  report.planned_total_elements = plan.total_elements();
+  report.planned_messages = plan.total_messages();
+  report.predicted_total_elements =
+      total_volume_elements(spec.sizes, spec.log_splits);
+  const int n = static_cast<int>(spec.sizes.size());
+  const std::uint32_t root_mask = DimSet::full(n).mask();
+  for (std::uint32_t mask = 0; mask < root_mask; ++mask) {
+    // The per-edge bound is the planned (dense, logical) volume; the
+    // volume check proves it equals Lemma 1's closed form.
+    const auto planned_it = plan.elements_by_view.find(mask);
+    const std::int64_t bound_bytes =
+        (planned_it == plan.elements_by_view.end() ? std::int64_t{0}
+                                                   : planned_it->second) *
+        spec.bytes_per_cell;
+    if (bound_bytes > 0) {
+      report.dense_bound_bytes_by_view[mask] = bound_bytes;
+    }
+    const auto measured_it = measured_wire_bytes_by_view.find(mask);
+    const std::int64_t wire_bytes =
+        measured_it == measured_wire_bytes_by_view.end() ? std::int64_t{0}
+                                                         : measured_it->second;
+    if (wire_bytes > bound_bytes) {
+      std::ostringstream msg;
+      msg << "view " << view_name(mask) << ": measured " << wire_bytes
+          << " wire bytes, above the dense Lemma 1 bound of " << bound_bytes;
+      add_violation(report, ViolationCode::kWireVolumeExceedsBound, kNoRank,
+                    mask, bound_bytes, wire_bytes, msg.str());
+    } else if (require_equal && wire_bytes != bound_bytes) {
+      std::ostringstream msg;
+      msg << "view " << view_name(mask) << ": measured " << wire_bytes
+          << " wire bytes with encoding disabled, expected exactly the "
+             "dense volume of "
+          << bound_bytes;
+      add_violation(report, ViolationCode::kLedgerVolumeMismatch, kNoRank,
+                    mask, bound_bytes, wire_bytes, msg.str());
+    }
+  }
+  for (const auto& [mask, bytes] : measured_wire_bytes_by_view) {
+    if (mask >= root_mask && bytes != 0) {
+      std::ostringstream msg;
+      msg << "ledger recorded " << bytes << " wire bytes under tag " << mask
           << " which is not a proper lattice view";
       add_violation(report, ViolationCode::kUnknownViewTag, kNoRank, mask, 0,
                     bytes, msg.str());

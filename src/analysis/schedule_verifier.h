@@ -52,6 +52,10 @@ enum class ViolationCode {
   kWrongLead,
   /// Measured ledger bytes for a view differ from the static plan.
   kLedgerVolumeMismatch,
+  /// Measured wire bytes for a view exceed the dense Lemma-1 bound (the
+  /// adaptive codec guarantees wire <= logical per message, so this can
+  /// only fire on an accounting or codec bug).
+  kWireVolumeExceedsBound,
   /// Traffic planned or measured under a tag that is no lattice view.
   kUnknownViewTag,
 };
@@ -92,6 +96,11 @@ struct AnalysisReport {
   /// a scan, so it is reported next to — not inside — the Theorem 4
   /// bound, and is itself capped by kScanScratchBudgetBytes.
   std::int64_t max_scan_scratch_bytes = 0;
+  /// The dense Lemma-1 volume bound per reduction edge, in bytes — what
+  /// the wire audit certifies measured wire bytes against (views with a
+  /// zero bound are omitted). Filled by verify_schedule and
+  /// audit_wire_volume.
+  std::map<std::uint32_t, std::int64_t> dense_bound_bytes_by_view;
 
   bool ok() const { return violations.empty(); }
   /// Human-readable multi-line rendering (one violation per line).
@@ -113,5 +122,15 @@ AnalysisReport verify_schedule(const ScheduleSpec& spec);
 AnalysisReport audit_measured_volume(
     const ScheduleSpec& spec,
     const std::map<std::uint32_t, std::int64_t>& measured_bytes_by_view);
+
+/// Post-run wire audit: certifies measured per-view WIRE bytes against the
+/// dense Lemma-1 per-edge bound — never above it, and (with
+/// `require_equal`, the encoding-disabled case) exactly on it. This is the
+/// gate that proves the adaptive codec's savings are real savings below
+/// the closed form, not accounting drift.
+AnalysisReport audit_wire_volume(
+    const ScheduleSpec& spec,
+    const std::map<std::uint32_t, std::int64_t>& measured_wire_bytes_by_view,
+    bool require_equal);
 
 }  // namespace cubist

@@ -32,8 +32,15 @@ class RankBuilder {
     // This cap is redundant with the runtime's ScopedActiveRanks
     // registration, but keeps ranks from oversubscribing even when
     // build_cube_parallel_rank is driven by some other harness.
-    agg_options_.max_workers =
-        std::max(1, ThreadPool::global().size() / grid_.size());
+    ThreadPool* pool =
+        options_.pool != nullptr ? options_.pool : &ThreadPool::global();
+    agg_options_.pool = pool;
+    agg_options_.max_workers = std::max(1, pool->size() / grid_.size());
+    reduce_options_.max_message_elements = options_.reduce_message_elements;
+    reduce_options_.wire.enabled = options_.encode_wire;
+    reduce_options_.wire.density_threshold = options_.wire_density_threshold;
+    reduce_options_.combine_pool = pool;
+    reduce_options_.combine_workers = agg_options_.max_workers;
   }
 
   std::map<std::uint32_t, DenseArray> run(const SparseArray& local_root,
@@ -46,6 +53,8 @@ class RankBuilder {
     CUBIST_ASSERT(live_.empty(), "view blocks left unwritten");
     if (stats != nullptr) {
       stats_.peak_live_bytes = ledger_.peak_bytes();
+      stats_.logical_bytes_sent = comm_.logical_bytes_sent();
+      stats_.wire_bytes_sent = comm_.wire_bytes_sent();
       stats_.build_clock_seconds = comm_.clock();
       *stats = stats_;
     }
@@ -114,7 +123,7 @@ class RankBuilder {
       const std::vector<int> group = grid_.axis_group(comm_.rank(), aggregated);
       if (group.size() > 1) {
         comm_.reduce(group, block, child.mask(), options_.op,
-                     options_.reduce_message_elements);
+                     reduce_options_);
       }
       if (grid_.is_lead(comm_.rank(), aggregated)) {
         if (tree_.is_leaf(child)) {
@@ -158,6 +167,7 @@ class RankBuilder {
   std::vector<std::int64_t> global_sizes_;
   ParallelOptions options_;
   AggregateOptions agg_options_;
+  ReduceOptions reduce_options_;
   std::map<std::uint32_t, DenseArray> live_;
   std::map<std::uint32_t, DenseArray> done_;
   MemoryLedger ledger_;

@@ -39,9 +39,22 @@ struct ParallelOptions {
   /// Aggregate operator (the paper fixes SUM).
   AggregateOp op = AggregateOp::kSum;
   /// Cap on elements per reduction message (0 = whole block per message).
-  /// The communication-frequency knob: volume is unchanged, message count
-  /// and latency cost grow as the cap shrinks.
+  /// The communication-frequency knob: *logical* volume is unchanged,
+  /// message count and latency cost grow as the cap shrinks, and the
+  /// chunk-pipelined reduce overlaps rounds at this granularity.
   std::int64_t reduce_message_elements = 0;
+  /// Adaptive wire encoding of reduction payloads (docs/PERFORMANCE.md,
+  /// "Communication engine"). Off, every message ships raw dense chunks
+  /// and measured wire bytes equal logical bytes exactly. Either way the
+  /// output bits are identical — the codec is lossless.
+  bool encode_wire = true;
+  /// Non-identity fraction at or below which run encodings compete
+  /// (WirePolicy::density_threshold).
+  double wire_density_threshold = 0.5;
+  /// Pool for the intra-rank scans and the receiver-side reduction
+  /// combine (nullptr = ThreadPool::global()). A pure performance knob;
+  /// tests inject fixed-size pools to pin the determinism contract.
+  ThreadPool* pool = nullptr;
   /// Pre-flight gate (src/analysis): before any rank launches, statically
   /// certify the schedule — matched sends/recvs, deadlock freedom, Lemma
   /// 1 / Theorem 3 volumes, Theorem 4 memory bound. Violations throw
@@ -63,6 +76,12 @@ struct ParallelBuildStats {
   /// High-water mark of this rank's transient stripe-private accumulator
   /// bytes across its scans (a max, not a sum — released per scan).
   std::int64_t peak_scratch_bytes = 0;
+  /// Dense-equivalent bytes this rank sent during construction — the
+  /// paper's communication-volume measure for this rank.
+  std::int64_t logical_bytes_sent = 0;
+  /// Bytes this rank actually put on the link after wire encoding
+  /// (<= logical_bytes_sent; == with encode_wire off).
+  std::int64_t wire_bytes_sent = 0;
   /// Virtual clock when this rank finished construction (before any
   /// result gathering).
   double build_clock_seconds = 0.0;

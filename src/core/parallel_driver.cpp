@@ -143,11 +143,25 @@ ParallelCubeReport run_parallel_cube(const std::vector<std::int64_t>& sizes,
       report.construction_bytes += bytes;
     }
   }
+  for (const auto& [tag, bytes] : report.run.volume.wire_bytes_by_tag) {
+    if (tag < kGatherTagBase) {
+      report.wire_bytes_by_view[static_cast<std::uint32_t>(tag)] += bytes;
+      report.construction_wire_bytes += bytes;
+    }
+  }
   if (options.audit_volume) {
     const AnalysisReport audit =
         audit_measured_volume(schedule_spec, report.bytes_by_view);
     CUBIST_ASSERT(audit.ok(),
                   "post-run volume audit failed:\n" << audit.to_string());
+    // Certify the wire side against the dense Lemma-1 per-edge bound:
+    // never above it, and exactly on it when the codec is off.
+    const AnalysisReport wire_audit =
+        audit_wire_volume(schedule_spec, report.wire_bytes_by_view,
+                          /*require_equal=*/!options.encode_wire);
+    CUBIST_ASSERT(wire_audit.ok(),
+                  "post-run wire-volume audit failed:\n"
+                      << wire_audit.to_string());
   }
   report.cube = std::move(assembled);
   return report;

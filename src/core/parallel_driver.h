@@ -41,11 +41,17 @@ struct ParallelCubeReport {
   /// clock at construction completion (excludes input generation and
   /// result gathering).
   double construction_seconds = 0.0;
-  /// Measured construction communication volume in bytes (sum over view
-  /// tags; excludes gather traffic).
+  /// Measured construction communication volume in LOGICAL
+  /// (dense-equivalent) bytes — the paper's quantity (sum over view tags;
+  /// excludes gather traffic).
   std::int64_t construction_bytes = 0;
-  /// Measured construction bytes per view mask.
+  /// Bytes construction actually put on the link after wire encoding
+  /// (<= construction_bytes; == with ParallelOptions::encode_wire off).
+  std::int64_t construction_wire_bytes = 0;
+  /// Measured construction logical bytes per view mask.
   std::map<std::uint32_t, std::int64_t> bytes_by_view;
+  /// Measured construction wire bytes per view mask.
+  std::map<std::uint32_t, std::int64_t> wire_bytes_by_view;
   /// Messages + bytes including gather, and real wall time.
   RunReport run;
   /// Max over ranks of the per-rank live-block high-water (Theorem 4).

@@ -3,10 +3,23 @@
 #include <algorithm>
 #include <cstring>
 
+#include "array/wire_codec.h"
 #include "common/error.h"
 #include "minimpi/runtime_state.h"
 
 namespace cubist {
+namespace {
+
+/// Position of `rank` within `group`, -1 when absent. Hoisted out of the
+/// collectives' round loops — one scan per call, not one per round.
+int index_in_group(std::span<const int> group, int rank) {
+  for (int i = 0; i < static_cast<int>(group.size()); ++i) {
+    if (group[i] == rank) return i;
+  }
+  return -1;
+}
+
+}  // namespace
 
 Comm::Comm(RuntimeState& state, int rank) : state_(state), rank_(rank) {}
 
@@ -19,20 +32,29 @@ void Comm::charge_compute(std::int64_t cells_scanned, std::int64_t updates) {
   clock_ += state_.model().seconds_for_updates(static_cast<double>(updates));
 }
 
-void Comm::send_bytes(int dst, std::uint64_t tag,
-                      std::span<const std::byte> data) {
+void Comm::send_wire(int dst, std::uint64_t tag, std::int64_t logical_bytes,
+                     std::vector<std::byte> payload) {
   CUBIST_CHECK(dst >= 0 && dst < size(), "bad destination rank " << dst);
   CUBIST_CHECK(dst != rank_, "self-send is not supported");
-  const auto bytes = static_cast<std::int64_t>(data.size());
-  // Sender is occupied for the per-message overhead plus the injection;
-  // the receiver may consume the message one wire latency later.
+  const auto wire_bytes = static_cast<std::int64_t>(payload.size());
+  // Sender is occupied for the per-message overhead plus the injection of
+  // what actually hits the link (the wire bytes); the receiver may consume
+  // the message one wire latency later.
   clock_ += state_.model().overhead +
-            state_.model().transfer_seconds(static_cast<double>(bytes));
+            state_.model().transfer_seconds(static_cast<double>(wire_bytes));
   Message message;
-  message.payload.assign(data.begin(), data.end());
+  message.payload = std::move(payload);
   message.arrival_time = clock_ + state_.model().latency;
-  state_.ledger().record(tag, bytes);
+  state_.ledger().record(tag, logical_bytes, wire_bytes);
+  logical_bytes_sent_ += logical_bytes;
+  wire_bytes_sent_ += wire_bytes;
   state_.mailbox(dst).deliver(rank_, tag, std::move(message));
+}
+
+void Comm::send_bytes(int dst, std::uint64_t tag,
+                      std::span<const std::byte> data) {
+  send_wire(dst, tag, static_cast<std::int64_t>(data.size()),
+            std::vector<std::byte>(data.begin(), data.end()));
 }
 
 std::vector<std::byte> Comm::recv_bytes(int src, std::uint64_t tag) {
@@ -41,6 +63,13 @@ std::vector<std::byte> Comm::recv_bytes(int src, std::uint64_t tag) {
   Message message = state_.mailbox(rank_).receive(src, tag);
   clock_ = std::max(clock_, message.arrival_time);
   return std::move(message.payload);
+}
+
+std::pair<int, std::vector<std::byte>> Comm::recv_bytes_any(
+    std::uint64_t tag) {
+  auto [source, message] = state_.mailbox(rank_).receive_any(tag);
+  clock_ = std::max(clock_, message.arrival_time);
+  return {source, std::move(message.payload)};
 }
 
 void Comm::send_values(int dst, std::uint64_t tag,
@@ -58,48 +87,57 @@ std::vector<Value> Comm::recv_values(int src, std::uint64_t tag) {
 
 void Comm::reduce(std::span<const int> group, DenseArray& data,
                   std::uint64_t tag, AggregateOp op,
-                  std::int64_t max_message_elements) {
+                  const ReduceOptions& options) {
   const int g = static_cast<int>(group.size());
   CUBIST_CHECK(g >= 1, "empty reduction group");
-  CUBIST_CHECK(max_message_elements >= 0, "negative message cap");
-  int me = -1;
-  for (int i = 0; i < g; ++i) {
-    if (group[i] == rank_) me = i;
-  }
+  CUBIST_CHECK(options.max_message_elements >= 0, "negative message cap");
+  const int me = index_in_group(group, rank_);
   CUBIST_CHECK(me >= 0, "rank " << rank_ << " not in reduction group");
 
   const std::int64_t total = data.size();
+  // Zero-size blocks (and singleton groups) never touch the wire.
+  if (total == 0 || g == 1) return;
   const std::int64_t piece =
-      max_message_elements == 0 ? total : max_message_elements;
+      options.max_message_elements == 0 ? total : options.max_message_elements;
 
-  // Binomial tree toward group[0]: in round `step`, members with the bit
-  // set ship their partial to the member `step` below and drop out.
-  for (int step = 1; step < g; step <<= 1) {
-    if ((me & step) != 0) {
-      for (std::int64_t offset = 0; offset < total; offset += piece) {
-        const auto count = static_cast<std::size_t>(
-            std::min(piece, total - offset));
-        send_values(group[me - step], tag,
-                    std::span<const Value>(data.data() + offset, count));
+  // Chunk-outer pipeline over the binomial tree toward group[0]: each
+  // chunk runs its full schedule (receive from below in ascending step
+  // order, then — for interior members — ship upward) before the next
+  // chunk starts, so a member forwards chunk i while chunk i+1 is still in
+  // flight from its children. Per destination cell the combine order is
+  // the step order, exactly as a round-outer whole-block reduction — the
+  // chunking is invisible in the output bits.
+  for (std::int64_t offset = 0; offset < total; offset += piece) {
+    const std::int64_t count = std::min(piece, total - offset);
+    const std::span<Value> chunk(data.data() + offset,
+                                 static_cast<std::size_t>(count));
+    for (int step = 1; step < g; step <<= 1) {
+      if ((me & step) != 0) {
+        send_wire(group[me - step], tag,
+                  count * static_cast<std::int64_t>(sizeof(Value)),
+                  encode_chunk(chunk, op, options.wire));
+        break;  // this member is done with this chunk; on to the next
       }
-      return;
-    }
-    if (me + step < g) {
-      Value* dst = data.data();
-      for (std::int64_t offset = 0; offset < total; offset += piece) {
-        const std::vector<Value> partial =
-            recv_values(group[me + step], tag);
-        CUBIST_ASSERT(static_cast<std::int64_t>(partial.size()) ==
-                          std::min(piece, total - offset),
-                      "reduction payload size mismatch");
-        // Charge the combine to the receiver's clock: one op per element.
-        charge_compute(0, static_cast<std::int64_t>(partial.size()));
-        for (std::size_t i = 0; i < partial.size(); ++i) {
-          combine(op, dst[offset + static_cast<std::int64_t>(i)], partial[i]);
-        }
+      if (me + step < g) {
+        const std::vector<std::byte> payload =
+            recv_bytes(group[me + step], tag);
+        const std::int64_t updates =
+            combine_chunk(op, chunk, payload, options.combine_pool,
+                          options.combine_workers);
+        // Charge the combine to the receiver's clock: one op per combined
+        // element (run-skipped identity cells cost nothing).
+        charge_compute(0, updates);
       }
     }
   }
+}
+
+void Comm::reduce(std::span<const int> group, DenseArray& data,
+                  std::uint64_t tag, AggregateOp op,
+                  std::int64_t max_message_elements) {
+  ReduceOptions options;
+  options.max_message_elements = max_message_elements;
+  reduce(group, data, tag, op, options);
 }
 
 void Comm::reduce_sum(std::span<const int> group, DenseArray& data,
@@ -111,10 +149,7 @@ void Comm::bcast(std::span<const int> group, std::vector<std::byte>& data,
                  std::uint64_t tag) {
   const int g = static_cast<int>(group.size());
   CUBIST_CHECK(g >= 1, "empty broadcast group");
-  int me = -1;
-  for (int i = 0; i < g; ++i) {
-    if (group[i] == rank_) me = i;
-  }
+  const int me = index_in_group(group, rank_);
   CUBIST_CHECK(me >= 0, "rank " << rank_ << " not in broadcast group");
 
   // Binomial tree from group[0], rounds with doubling step: in round
@@ -145,9 +180,22 @@ std::vector<std::vector<std::byte>> Comm::gather_bytes(
       static_cast<std::size_t>(size()));
   gathered[static_cast<std::size_t>(root)].assign(payload.begin(),
                                                   payload.end());
-  for (int src = 0; src < size(); ++src) {
-    if (src == root) continue;
-    gathered[static_cast<std::size_t>(src)] = recv_bytes(src, tag);
+  // Consume in virtual arrival order rather than rank order: with fixed
+  // rank order a slow rank 1 head-of-line-blocks the root while later
+  // ranks' messages sit queued; match-any lets the root overlap its
+  // per-payload processing with the stragglers' transfers. Sources we
+  // have already heard from are excluded so a fast rank's next same-tag
+  // message can never be consumed by this gather.
+  std::vector<bool> seen(static_cast<std::size_t>(size()), false);
+  seen[static_cast<std::size_t>(root)] = true;
+  const auto pending = [&](int src) {
+    return !seen[static_cast<std::size_t>(src)];
+  };
+  for (int remaining = size() - 1; remaining > 0; --remaining) {
+    auto [src, message] = state_.mailbox(rank_).receive_any(tag, pending);
+    clock_ = std::max(clock_, message.arrival_time);
+    seen[static_cast<std::size_t>(src)] = true;
+    gathered[static_cast<std::size_t>(src)] = std::move(message.payload);
   }
   return gathered;
 }

@@ -9,15 +9,37 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "array/aggregate_op.h"
 #include "array/dense_array.h"
+#include "array/wire_codec.h"
 #include "minimpi/cost_model.h"
 
 namespace cubist {
 
 class RuntimeState;
+class ThreadPool;
+
+/// Knobs of one pipelined reduction (see docs/PERFORMANCE.md,
+/// "Communication engine").
+struct ReduceOptions {
+  /// Chunk size in elements (0 = whole block per message). Smaller chunks
+  /// trade more messages (latency/overhead) for finer pipelining — the
+  /// communication-frequency knob studied in the authors' companion work.
+  std::int64_t max_message_elements = 0;
+  /// Adaptive payload encoding; wire.enabled = false ships raw Values and
+  /// makes wire bytes equal logical bytes exactly.
+  WirePolicy wire;
+  /// Pool for the receiver's elementwise combine (null = inline). Striping
+  /// is in fixed disjoint cell ranges, so the result is bit-identical for
+  /// any pool and worker count.
+  ThreadPool* combine_pool = nullptr;
+  /// Per-call concurrency cap for the combine (0 = pool policy). The cube
+  /// builder passes its per-rank budget here.
+  int combine_workers = 1;
+};
 
 class Comm {
  public:
@@ -46,16 +68,37 @@ class Comm {
   void send_values(int dst, std::uint64_t tag, std::span<const Value> data);
   std::vector<Value> recv_values(int src, std::uint64_t tag);
 
+  /// Blocking receive matched by tag only; among everything queued, takes
+  /// the message with the earliest virtual arrival (so a slow sender never
+  /// head-of-line-blocks a fast one). Returns (source, payload).
+  std::pair<int, std::vector<std::byte>> recv_bytes_any(std::uint64_t tag);
+
   // --- collectives (implemented over send/recv, so volume is counted) ---
 
-  /// Binomial-tree reduction of `data` over `group` (a list of ranks
-  /// containing this rank; group.size() need not be a power of two).
-  /// On return, group[0] holds the elementwise combination under `op`;
-  /// other members' arrays hold partials and should be considered
-  /// consumed. `max_message_elements` caps each message's payload (0 =
-  /// whole block per message): smaller caps trade more messages (latency)
-  /// for finer pipelining — the communication-frequency knob studied in
-  /// the authors' companion work.
+  /// Chunk-pipelined binomial-tree reduction of `data` over `group` (a
+  /// list of ranks containing this rank; group.size() need not be a power
+  /// of two). On return, group[0] holds the elementwise combination under
+  /// `op`; other members' arrays hold partials and should be considered
+  /// consumed.
+  ///
+  /// The block is split into chunks of `options.max_message_elements` and
+  /// each chunk runs the whole binomial schedule before the next chunk
+  /// starts: an interior member combines and forwards chunk i up the tree
+  /// before chunk i+1 arrives from below, so the virtual clock sees the
+  /// rounds overlap (per-chunk arrival times, not whole-block
+  /// serialization). Each chunk's payload is adaptively encoded under
+  /// `options.wire`; the ledger records logical and wire bytes per
+  /// message, and the clock charges the transfer at wire size.
+  ///
+  /// Determinism: per destination cell the combine order is the binomial
+  /// step order, identical for every chunk size, encoding choice, and
+  /// combine pool — the output bits never depend on the knobs.
+  ///
+  /// Zero-size blocks return immediately without touching the wire.
+  void reduce(std::span<const int> group, DenseArray& data, std::uint64_t tag,
+              AggregateOp op, const ReduceOptions& options);
+
+  /// reduce() with default options but an explicit chunk cap.
   void reduce(std::span<const int> group, DenseArray& data, std::uint64_t tag,
               AggregateOp op, std::int64_t max_message_elements = 0);
 
@@ -76,10 +119,25 @@ class Comm {
   /// log2(p) latency term.
   void barrier();
 
+  // --- wire telemetry (this rank's sends only) ---
+
+  /// Dense-equivalent bytes this rank has sent.
+  std::int64_t logical_bytes_sent() const { return logical_bytes_sent_; }
+  /// Bytes this rank actually put on the link (<= logical; == when the
+  /// wire codec is disabled).
+  std::int64_t wire_bytes_sent() const { return wire_bytes_sent_; }
+
  private:
+  /// The one send primitive: ships `payload`, charges the clock at wire
+  /// size, and records `logical_bytes` next to it in the ledger.
+  void send_wire(int dst, std::uint64_t tag, std::int64_t logical_bytes,
+                 std::vector<std::byte> payload);
+
   RuntimeState& state_;
   int rank_;
   double clock_ = 0.0;
+  std::int64_t logical_bytes_sent_ = 0;
+  std::int64_t wire_bytes_sent_ = 0;
 };
 
 }  // namespace cubist

@@ -7,6 +7,15 @@
 // sender's clock at send time + latency + bytes/bandwidth). The makespan
 // over ranks is the simulated parallel execution time reported by the
 // figure benches; real wall time and real bytes are reported alongside.
+//
+// Message granularity is the pipelining knob: every message carries its
+// own arrival time, so a chunked reduction (Comm::reduce with a message
+// cap) overlaps in virtual time — while chunk i+1 is in flight, the
+// receiver's combine of chunk i advances its clock, and an interior tree
+// member forwards chunk i upward before the whole block has arrived.
+// Transfer seconds are charged on the bytes that actually hit the link
+// (the encoded wire size, <= the dense payload), and per-message
+// `overhead` is what penalizes over-fine chunking.
 #pragma once
 
 namespace cubist {

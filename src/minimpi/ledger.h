@@ -6,6 +6,15 @@
 // The cube builder tags each reduction with the view's dimension mask, so
 // the ledger decomposes measured volume per lattice node — exactly what the
 // Lemma-1 validation bench compares against the closed form.
+//
+// Two byte counts per send since the adaptive wire codec landed:
+// LOGICAL bytes are the dense payload size (elements * sizeof(Value)) —
+// the quantity the paper's closed forms bound, and what `total_bytes` /
+// `bytes_by_tag` have always meant. WIRE bytes are what the encoded
+// payload actually occupies on the link; the codec guarantees
+// wire <= logical per message, so `total_wire_bytes <= total_bytes` holds
+// unconditionally (with equality when encoding is disabled). The analysis
+// gate certifies both against the Lemma-1 bound (docs/ANALYSIS.md).
 #pragma once
 
 #include <cstdint>
@@ -16,19 +25,33 @@ namespace cubist {
 
 /// Communication totals, optionally broken down by tag.
 struct VolumeReport {
+  /// Logical (dense-equivalent) bytes — the paper's volume measure.
   std::int64_t total_bytes = 0;
+  /// Bytes actually shipped after wire encoding (== total_bytes when the
+  /// codec is disabled).
+  std::int64_t total_wire_bytes = 0;
   std::int64_t total_messages = 0;
-  /// Bytes per tag (tag = view mask in the cube builder).
+  /// Logical bytes per tag (tag = view mask in the cube builder).
   std::map<std::uint64_t, std::int64_t> bytes_by_tag;
+  /// Wire bytes per tag.
+  std::map<std::uint64_t, std::int64_t> wire_bytes_by_tag;
 };
 
 class VolumeLedger {
  public:
+  /// Records one message of `bytes` logical bytes that occupied
+  /// `wire_bytes` on the link. The two-argument form is for unencoded
+  /// sends, where the payload goes out verbatim.
   void record(std::uint64_t tag, std::int64_t bytes) {
+    record(tag, bytes, bytes);
+  }
+  void record(std::uint64_t tag, std::int64_t bytes, std::int64_t wire_bytes) {
     std::lock_guard lock(mutex_);
     report_.total_bytes += bytes;
+    report_.total_wire_bytes += wire_bytes;
     report_.total_messages += 1;
     report_.bytes_by_tag[tag] += bytes;
+    report_.wire_bytes_by_tag[tag] += wire_bytes;
   }
 
   VolumeReport snapshot() const {

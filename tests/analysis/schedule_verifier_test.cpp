@@ -232,6 +232,69 @@ TEST(ScheduleVerifierTest, AuditFlagsUnknownTags) {
       << report.to_string();
 }
 
+TEST(ScheduleVerifierTest, WireAuditCertifiesAtAndBelowTheDenseBound) {
+  const ScheduleSpec spec = spec_of({16, 8, 8}, {1, 1, 0});
+  const CommPlan plan = build_comm_plan(spec);
+  std::map<std::uint32_t, std::int64_t> wire;
+  for (const auto& [mask, elements] : plan.elements_by_view) {
+    wire[mask] = elements * spec.bytes_per_cell;  // exactly the dense bound
+  }
+  // At the bound: fine with or without require_equal (the encoding-off
+  // contract is wire == logical == bound).
+  EXPECT_TRUE(audit_wire_volume(spec, wire, /*require_equal=*/true).ok());
+  EXPECT_TRUE(audit_wire_volume(spec, wire, /*require_equal=*/false).ok());
+
+  // Below the bound: what the adaptive codec produces. OK only when
+  // equality is not required.
+  std::map<std::uint32_t, std::int64_t> shrunk = wire;
+  shrunk.begin()->second /= 2;
+  EXPECT_TRUE(audit_wire_volume(spec, shrunk, /*require_equal=*/false).ok());
+  const AnalysisReport strict =
+      audit_wire_volume(spec, shrunk, /*require_equal=*/true);
+  EXPECT_FALSE(strict.ok());
+  EXPECT_TRUE(has_violation(strict, ViolationCode::kLedgerVolumeMismatch))
+      << strict.to_string();
+}
+
+TEST(ScheduleVerifierTest, WireAuditFlagsBytesAboveTheDenseBound) {
+  const ScheduleSpec spec = spec_of({16, 8, 8}, {1, 1, 0});
+  const CommPlan plan = build_comm_plan(spec);
+  std::map<std::uint32_t, std::int64_t> wire;
+  for (const auto& [mask, elements] : plan.elements_by_view) {
+    wire[mask] = elements * spec.bytes_per_cell;
+  }
+  wire.begin()->second += 1;  // one byte over Lemma 1's dense volume
+  const AnalysisReport report =
+      audit_wire_volume(spec, wire, /*require_equal=*/false);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_violation(report, ViolationCode::kWireVolumeExceedsBound))
+      << report.to_string();
+
+  std::map<std::uint32_t, std::int64_t> unknown;
+  unknown[0xdeadbeefu] = 8;  // wire traffic under a tag that is no view
+  EXPECT_TRUE(has_violation(
+      audit_wire_volume(spec, unknown, /*require_equal=*/false),
+      ViolationCode::kUnknownViewTag));
+}
+
+TEST(ScheduleVerifierTest, DenseBoundsAreReportedAndSerialized) {
+  const ScheduleSpec spec = spec_of({16, 8}, {1, 0});
+  const AnalysisReport verified = verify_schedule(spec);
+  ASSERT_FALSE(verified.dense_bound_bytes_by_view.empty());
+  for (const auto& [mask, bytes] : verified.dense_bound_bytes_by_view) {
+    EXPECT_GT(bytes, 0) << "view mask " << mask;
+  }
+  EXPECT_NE(verified.to_json().find("dense_bound_bytes_by_view"),
+            std::string::npos);
+
+  const AnalysisReport audited =
+      audit_wire_volume(spec, verified.dense_bound_bytes_by_view,
+                        /*require_equal=*/true);
+  EXPECT_TRUE(audited.ok()) << audited.to_string();
+  EXPECT_EQ(audited.dense_bound_bytes_by_view,
+            verified.dense_bound_bytes_by_view);
+}
+
 TEST(ScheduleVerifierTest, ReportRendersHumanAndJson) {
   const ScheduleSpec spec = spec_of({16, 8}, {1, 1});
   const AnalysisReport report = verify_schedule(spec);

@@ -221,6 +221,116 @@ TEST(GatherTest, EmptyPayloadsSupported) {
   });
 }
 
+TEST(ReduceSumTest, SingletonGroupTouchesNoWire) {
+  // Same early-out as zero-size blocks: nothing to combine, no messages.
+  const RunReport report = Runtime::run(2, fast_model(), [](Comm& comm) {
+    const std::vector<int> group{comm.rank()};
+    DenseArray data{Shape{{8}}};
+    data.fill(1.0);
+    comm.reduce_sum(group, data, 6);
+    EXPECT_EQ(data[0], 1.0);
+    EXPECT_EQ(comm.logical_bytes_sent(), 0);
+    EXPECT_EQ(comm.wire_bytes_sent(), 0);
+  });
+  EXPECT_EQ(report.volume.total_messages, 0);
+  EXPECT_EQ(report.volume.total_bytes, 0);
+  EXPECT_EQ(report.volume.total_wire_bytes, 0);
+}
+
+TEST(ReduceSumTest, AllIdentityPayloadShrinksOnTheWire) {
+  constexpr std::int64_t kBlock = 128;
+  const RunReport report = Runtime::run(2, fast_model(), [](Comm& comm) {
+    const std::vector<int> group{0, 1};
+    DenseArray data{Shape{{kBlock}}};  // zero-filled = the SUM identity
+    comm.reduce(group, data, 6, AggregateOp::kSum, ReduceOptions{});
+    if (comm.rank() == 1) {
+      // The sender shipped a header-only run payload for a full block.
+      EXPECT_EQ(comm.logical_bytes_sent(),
+                kBlock * static_cast<std::int64_t>(sizeof(Value)));
+      EXPECT_EQ(comm.wire_bytes_sent(),
+                static_cast<std::int64_t>(sizeof(WireHeader)));
+    }
+  });
+  // Ledger keeps both sides: logical bytes are the paper's quantity, wire
+  // bytes are what the link saw.
+  EXPECT_EQ(report.volume.total_bytes,
+            kBlock * static_cast<std::int64_t>(sizeof(Value)));
+  EXPECT_EQ(report.volume.total_wire_bytes,
+            static_cast<std::int64_t>(sizeof(WireHeader)));
+  EXPECT_EQ(report.volume.bytes_by_tag.at(6), report.volume.total_bytes);
+  EXPECT_EQ(report.volume.wire_bytes_by_tag.at(6),
+            report.volume.total_wire_bytes);
+}
+
+TEST(ReduceSumTest, DisabledCodecKeepsWireEqualLogical) {
+  const RunReport report = Runtime::run(2, fast_model(), [](Comm& comm) {
+    const std::vector<int> group{0, 1};
+    DenseArray data{Shape{{64}}};  // maximally compressible, but codec off
+    ReduceOptions options;
+    options.wire.enabled = false;
+    comm.reduce(group, data, 6, AggregateOp::kSum, options);
+  });
+  EXPECT_EQ(report.volume.total_bytes,
+            64 * static_cast<std::int64_t>(sizeof(Value)));
+  EXPECT_EQ(report.volume.total_wire_bytes, report.volume.total_bytes);
+}
+
+TEST(CommTest, RawSendsCountWireEqualLogical) {
+  const RunReport report = Runtime::run(2, fast_model(), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send_values(1, 3, std::vector<Value>(10, 0.0));
+    } else {
+      comm.recv_values(0, 3);
+    }
+  });
+  EXPECT_EQ(report.volume.total_wire_bytes, report.volume.total_bytes);
+  EXPECT_EQ(report.volume.wire_bytes_by_tag.at(3),
+            report.volume.bytes_by_tag.at(3));
+}
+
+TEST(CommTest, RecvAnyPrefersEarliestVirtualArrival) {
+  Runtime::run(3, fast_model(), [](Comm& comm) {
+    if (comm.rank() == 0) {
+      // Wait for both "sent" signals first so both tag-9 messages are
+      // queued (per-source FIFO) before the match-any picks by arrival.
+      comm.recv_values(1, 10);
+      comm.recv_values(2, 10);
+      const auto [first, p1] = comm.recv_bytes_any(9);
+      const auto [second, p2] = comm.recv_bytes_any(9);
+      EXPECT_EQ(first, 2);   // sent at virtual clock 0
+      EXPECT_EQ(second, 1);  // sent at virtual clock 5
+      EXPECT_EQ(p1.size(), sizeof(Value));
+    } else {
+      if (comm.rank() == 1) comm.advance_clock(5.0);
+      comm.send_values(0, 9,
+                       std::vector<Value>{static_cast<Value>(comm.rank())});
+      comm.send_values(0, 10, std::vector<Value>{0.0});
+    }
+  });
+}
+
+TEST(GatherTest, BackToBackSameTagGathersStaySeparated) {
+  // A fast rank's round-1 payload is already queued while the root still
+  // collects round 0 on the same tag; the match-any must not cross rounds
+  // (it excludes sources it has already heard from).
+  Runtime::run(3, fast_model(), [](Comm& comm) {
+    for (int round = 0; round < 2; ++round) {
+      std::vector<std::byte> mine{
+          static_cast<std::byte>(10 * round + comm.rank())};
+      const auto gathered = comm.gather_bytes(0, 33, mine);
+      if (comm.rank() == 0) {
+        ASSERT_EQ(gathered.size(), 3u);
+        for (int r = 0; r < 3; ++r) {
+          ASSERT_EQ(gathered[static_cast<std::size_t>(r)].size(), 1u);
+          EXPECT_EQ(gathered[static_cast<std::size_t>(r)][0],
+                    static_cast<std::byte>(10 * round + r))
+              << "round " << round << " rank " << r;
+        }
+      }
+    }
+  });
+}
+
 TEST(VirtualClockTest, ComputeChargesAdvanceClock) {
   const RunReport report = Runtime::run(1, fast_model(), [](Comm& comm) {
     comm.charge_compute(/*cells=*/12'000'000, /*updates=*/12'000'000);

@@ -1,7 +1,23 @@
 #!/usr/bin/env python3
 """Run the kernel microbenchmarks and write a normalized BENCH_kernels.json.
 
-Wraps the google-benchmark binary (bench/bench_kernels) with
+With --comm, instead runs the communication-engine cases of
+bench/bench_comm_volume (BM_CommEngine: wire bytes + virtual clock across
+sparsities, adaptive encoding on/off) and writes BENCH_comm.json:
+
+  {
+    "schema": "cubist-bench-comm/1",
+    "shape": "fig7",          # 64^4; --smoke switches to 16^4
+    "rows": [
+      {"name": "BM_CommEngine/fig7/d25/enc", "density_pct": 25,
+       "encode": 1, "logical_MB": ..., "wire_MB": ..., "sim_s": ...}, ...
+    ],
+    "summary": {              # encode-on vs encode-off, per density
+      "25": {"wire_reduction_pct": ..., "clock_speedup": ...}, ...
+    }
+  }
+
+In the default (kernel) mode it wraps bench/bench_kernels with
 --benchmark_format=json, sweeps CUBIST_THREADS over a thread list, and
 normalizes the per-run JSON into one stable document:
 
@@ -37,11 +53,13 @@ import subprocess
 import sys
 
 DEFAULT_OUT = "BENCH_kernels.json"
+DEFAULT_COMM_OUT = "BENCH_comm.json"
 DEFAULT_BINARY_DIRS = ("build-release", "build")
 SCHEMA = "cubist-bench-kernels/1"
+COMM_SCHEMA = "cubist-bench-comm/1"
 
 
-def find_binary(explicit):
+def find_binary(explicit, bench_name):
     if explicit:
         if not os.path.isfile(explicit):
             sys.exit(f"bench binary not found: {explicit}")
@@ -49,14 +67,14 @@ def find_binary(explicit):
     here = os.path.dirname(os.path.abspath(__file__))
     root = os.path.dirname(here)
     for build in DEFAULT_BINARY_DIRS:
-        candidate = os.path.join(root, build, "bench", "bench_kernels")
+        candidate = os.path.join(root, build, "bench", bench_name)
         if os.path.isfile(candidate):
             return candidate
     sys.exit(
-        "bench_kernels binary not found under "
+        f"{bench_name} binary not found under "
         + " or ".join(DEFAULT_BINARY_DIRS)
         + "; build it (cmake --preset release && "
-        "cmake --build --preset release --target bench_kernels) "
+        f"cmake --build --preset release --target {bench_name}) "
         "or pass --binary"
     )
 
@@ -77,7 +95,10 @@ def run_once(binary, threads, bench_filter, min_time):
     if result.returncode != 0:
         sys.stderr.write(result.stderr)
         sys.exit(f"benchmark run failed (threads={threads})")
-    return json.loads(result.stdout)
+    # Some benches print figure tables after the JSON document; take the
+    # leading JSON value only.
+    document, _ = json.JSONDecoder().raw_decode(result.stdout)
+    return document
 
 
 def to_ms(value, unit):
@@ -124,6 +145,67 @@ def compute_speedups(runs):
     return speedups
 
 
+def comm_report(args):
+    """--comm mode: BM_CommEngine counters -> BENCH_comm.json."""
+    shape = "smoke" if args.smoke else "fig7"
+    binary = find_binary(args.binary, "bench_comm_volume")
+    bench_filter = args.filter or f"BM_CommEngine/{shape}/"
+    print(f"running {os.path.basename(binary)} "
+          f"({shape} shape, filter {bench_filter}) ...")
+    raw = run_once(binary, os.cpu_count() or 1, bench_filter, 0.01)
+
+    rows = []
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        rows.append(
+            {
+                "name": bench["name"],
+                "density_pct": round(bench.get("density_pct", 0.0), 3),
+                "encode": int(bench.get("encode", 0)),
+                "logical_MB": round(bench.get("logical_MB", 0.0), 6),
+                "wire_MB": round(bench.get("wire_MB", 0.0), 6),
+                "sim_s": round(bench.get("sim_s", 0.0), 6),
+            }
+        )
+    if not rows:
+        sys.exit("no BM_CommEngine rows produced; wrong filter or binary?")
+
+    summary = {}
+    by_density = {}
+    for row in rows:
+        by_density.setdefault(row["density_pct"], {})[row["encode"]] = row
+    for density, pair in sorted(by_density.items()):
+        if 0 not in pair or 1 not in pair:
+            continue
+        raw_row, enc_row = pair[0], pair[1]
+        entry = {}
+        if raw_row["wire_MB"] > 0:
+            entry["wire_reduction_pct"] = round(
+                100.0 * (1.0 - enc_row["wire_MB"] / raw_row["wire_MB"]), 2
+            )
+        if enc_row["sim_s"] > 0:
+            entry["clock_speedup"] = round(
+                raw_row["sim_s"] / enc_row["sim_s"], 4
+            )
+        summary[f"{density:g}"] = entry
+
+    report = {
+        "schema": COMM_SCHEMA,
+        "generated_by": "tools/bench_report.py --comm",
+        "smoke": args.smoke,
+        "shape": shape,
+        "rows": rows,
+        "summary": summary,
+    }
+    out = args.out if args.out != DEFAULT_OUT else DEFAULT_COMM_OUT
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {out} ({len(rows)} rows, {len(summary)} density pairs)")
+    return 0
+
+
 def parse_threads(text):
     threads = []
     for piece in text.split(","):
@@ -159,7 +241,16 @@ def main():
         action="store_true",
         help="CI mode: dense kernels only, tiny min-time, still writes JSON",
     )
+    parser.add_argument(
+        "--comm",
+        action="store_true",
+        help="communication-engine mode: run bench_comm_volume's "
+        "BM_CommEngine cases and write BENCH_comm.json",
+    )
     args = parser.parse_args()
+
+    if args.comm:
+        return comm_report(args)
 
     nproc = os.cpu_count() or 1
     if args.threads:
@@ -173,7 +264,7 @@ def main():
         bench_filter = bench_filter or "BM_DenseMultiway|BM_SparseMultiway"
         min_time = 0.01
 
-    binary = find_binary(args.binary)
+    binary = find_binary(args.binary, "bench_kernels")
     runs = []
     for threads in threads_list:
         print(f"running {os.path.basename(binary)} with "
