@@ -120,13 +120,19 @@ class RankPlanner {
       for (int step = 1; step < g; step <<= 1) {
         if ((me & step) != 0) {
           plan_.ops.push_back({PlannedOp::Kind::kSend, group[me - step],
-                               child.mask(), count});
+                               child.mask(), count, offset});
           (*elements_by_view_)[child.mask()] += count;
           break;  // this member is done with this chunk
         }
         if (me + step < g) {
+          // Each receive is immediately folded into the local block: the
+          // combine is a first-class IR event because its ORDER (binomial
+          // step order here, deterministic by construction) is exactly
+          // what the interleaving checker certifies.
           plan_.ops.push_back({PlannedOp::Kind::kRecv, group[me + step],
-                               child.mask(), count});
+                               child.mask(), count, offset});
+          plan_.ops.push_back({PlannedOp::Kind::kCombine, group[me + step],
+                               child.mask(), count, offset});
         }
       }
     }
@@ -163,6 +169,18 @@ std::int64_t CommPlan::total_messages() const {
     }
   }
   return messages;
+}
+
+ScheduleIR CommPlan::ir() const {
+  ScheduleIR out;
+  out.num_ranks = num_ranks;
+  out.ranks.reserve(ranks.size());
+  for (const RankPlan& rank : ranks) {
+    RankProgram program;
+    program.events = rank.ops;
+    out.ranks.push_back(std::move(program));
+  }
+  return out;
 }
 
 CommPlan build_comm_plan(const ScheduleSpec& spec) {

@@ -15,6 +15,7 @@
 #include <map>
 #include <vector>
 
+#include "analysis/schedule_ir.h"
 #include "array/shape.h"
 #include "common/dimset.h"
 
@@ -35,19 +36,11 @@ struct ScheduleSpec {
   std::int64_t bytes_per_cell = static_cast<std::int64_t>(sizeof(Value));
 };
 
-/// One planned point-to-point operation of a rank, in program order.
-struct PlannedOp {
-  enum class Kind { kSend, kRecv };
-  Kind kind = Kind::kSend;
-  /// Destination rank for sends, source rank for receives.
-  int peer = -1;
-  /// Message tag = target view's dimension mask.
-  std::uint32_t view = 0;
-  /// Payload size in array elements.
-  std::int64_t elements = 0;
-
-  bool operator==(const PlannedOp&) const = default;
-};
+/// One planned operation of a rank, in program order. Planned ops ARE
+/// schedule-IR events (analysis/schedule_ir.h): typed send / recv /
+/// recv-any / combine with view, chunk offset and wire tag — the alias
+/// keeps the historical name used throughout the verifier and its tests.
+using PlannedOp = CommEvent;
 
 /// One planned view-block lifetime transition of a rank, in program order.
 struct PlannedMemoryEvent {
@@ -85,6 +78,10 @@ struct CommPlan {
 
   std::int64_t total_elements() const;
   std::int64_t total_messages() const;
+  /// The plan's communication events as a standalone schedule IR — the
+  /// input of the interleaving model checker (memory events and write-back
+  /// bookkeeping are not part of the interleaving semantics).
+  ScheduleIR ir() const;
 };
 
 /// Builds the exact plan the parallel builder will execute for `spec`.

@@ -1,0 +1,441 @@
+#include "analysis/interleaving_checker.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "common/dimset.h"
+#include "common/error.h"
+
+namespace cubist {
+namespace {
+
+constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+/// Reference to one event of the IR.
+struct EventRef {
+  int rank = -1;
+  std::size_t index = 0;
+  bool operator==(const EventRef&) const = default;
+};
+
+/// One executable transition at a state: the owning rank's next event,
+/// plus the chosen source for wildcard receives (every other kind has at
+/// most one transition per rank, so (rank, source) identifies it).
+struct Transition {
+  int rank = -1;
+  int source = -1;
+  bool operator==(const Transition&) const = default;
+};
+
+/// Stateless sleep-set DFS over the IR's arrival interleavings. The state
+/// (program counters + FIFO channels + receive matches) is mutated by
+/// apply() and restored exactly by undo(), so memory stays linear in the
+/// event count no matter how large the explored space is.
+class Explorer {
+ public:
+  Explorer(const ScheduleIR& ir, const InterleavingOptions& options,
+           InterleavingReport& report)
+      : ir_(ir), options_(options), report_(report), p_(ir.num_ranks) {
+    pc_.assign(static_cast<std::size_t>(p_), 0);
+    match_.resize(static_cast<std::size_t>(p_));
+    operand_.resize(static_cast<std::size_t>(p_));
+    for (int r = 0; r < p_; ++r) {
+      const std::vector<CommEvent>& events =
+          ir_.ranks[static_cast<std::size_t>(r)].events;
+      match_[static_cast<std::size_t>(r)].assign(events.size(), EventRef{});
+      std::vector<std::size_t>& operands =
+          operand_[static_cast<std::size_t>(r)];
+      operands.assign(events.size(), kNoIndex);
+      std::size_t last_recv = kNoIndex;
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        if (events[i].is_receive()) last_recv = i;
+        if (events[i].kind == CommEvent::Kind::kCombine) {
+          operands[i] = last_recv;
+          if (last_recv != kNoIndex) {
+            combine_sites_.push_back({r, i});
+          }
+        }
+      }
+    }
+  }
+
+  void run() { explore({}); }
+
+ private:
+  const CommEvent& event_at(int rank, std::size_t index) const {
+    return ir_.ranks[static_cast<std::size_t>(rank)].events[index];
+  }
+  const CommEvent& next_event(int rank) const {
+    return event_at(rank, pc_[static_cast<std::size_t>(rank)]);
+  }
+  bool rank_done(int rank) const {
+    return pc_[static_cast<std::size_t>(rank)] >=
+           ir_.ranks[static_cast<std::size_t>(rank)].events.size();
+  }
+
+  std::deque<EventRef>& channel(int src, int dst, std::uint64_t tag) {
+    return channels_[{src, dst, tag}];
+  }
+  bool channel_ready(int src, int dst, std::uint64_t tag) const {
+    const auto it = channels_.find({src, dst, tag});
+    return it != channels_.end() && !it->second.empty();
+  }
+
+  std::vector<Transition> enabled() const {
+    std::vector<Transition> out;
+    for (int r = 0; r < p_; ++r) {
+      if (rank_done(r)) continue;
+      const CommEvent& e = next_event(r);
+      switch (e.kind) {
+        case CommEvent::Kind::kSend:
+        case CommEvent::Kind::kCombine:
+          out.push_back({r, -1});
+          break;
+        case CommEvent::Kind::kRecv:
+          if (channel_ready(e.peer, r, e.wire_tag())) out.push_back({r, -1});
+          break;
+        case CommEvent::Kind::kRecvAny:
+          for (int src = 0; src < p_; ++src) {
+            if (channel_ready(src, r, e.wire_tag())) out.push_back({r, src});
+          }
+          break;
+      }
+    }
+    return out;
+  }
+
+  void add_violation(ViolationCode code, int rank, std::uint32_t view,
+                     std::int64_t expected, std::int64_t actual,
+                     const std::string& message) {
+    std::ostringstream key;
+    key << static_cast<int>(code) << "|" << rank << "|" << view << "|"
+        << message;
+    if (!seen_violations_.insert(key.str()).second) return;
+    Violation violation;
+    violation.code = code;
+    violation.rank = rank;
+    violation.view_mask = view;
+    violation.expected = expected;
+    violation.actual = actual;
+    violation.message = message;
+    report_.violations.push_back(std::move(violation));
+    if (static_cast<int>(report_.violations.size()) >=
+        options_.max_violations) {
+      // The space past this many independent bugs is not worth walking —
+      // but nothing beyond what was visited is proven either.
+      report_.stats.exhausted = false;
+      stop_ = true;
+    }
+  }
+
+  /// Executes `t`. Returns false when the consumed message belongs to a
+  /// different logical stream or disagrees in size — the violation is
+  /// recorded and the branch is pruned (its downstream states model a
+  /// run that already folded wrong bits).
+  bool apply(const Transition& t) {
+    const std::size_t pc = pc_[static_cast<std::size_t>(t.rank)];
+    const CommEvent& e = event_at(t.rank, pc);
+    bool clean = true;
+    switch (e.kind) {
+      case CommEvent::Kind::kSend:
+        channel(t.rank, e.peer, e.wire_tag()).push_back({t.rank, pc});
+        break;
+      case CommEvent::Kind::kCombine:
+        break;
+      case CommEvent::Kind::kRecv:
+      case CommEvent::Kind::kRecvAny: {
+        const int src =
+            e.kind == CommEvent::Kind::kRecv ? e.peer : t.source;
+        std::deque<EventRef>& ch = channel(src, t.rank, e.wire_tag());
+        CUBIST_ASSERT(!ch.empty(), "applied a receive with no ready message");
+        const EventRef got = ch.front();
+        ch.pop_front();
+        match_[static_cast<std::size_t>(t.rank)][pc] = got;
+        clean = check_match(t.rank, pc, e, got);
+        break;
+      }
+    }
+    ++pc_[static_cast<std::size_t>(t.rank)];
+    return clean;
+  }
+
+  void undo(const Transition& t) {
+    --pc_[static_cast<std::size_t>(t.rank)];
+    const std::size_t pc = pc_[static_cast<std::size_t>(t.rank)];
+    const CommEvent& e = event_at(t.rank, pc);
+    switch (e.kind) {
+      case CommEvent::Kind::kSend:
+        channel(t.rank, e.peer, e.wire_tag()).pop_back();
+        break;
+      case CommEvent::Kind::kCombine:
+        break;
+      case CommEvent::Kind::kRecv:
+      case CommEvent::Kind::kRecvAny: {
+        const int src =
+            e.kind == CommEvent::Kind::kRecv ? e.peer : t.source;
+        EventRef& got = match_[static_cast<std::size_t>(t.rank)][pc];
+        channel(src, t.rank, e.wire_tag()).push_front(got);
+        got = EventRef{};
+        break;
+      }
+    }
+  }
+
+  bool check_match(int rank, std::size_t pc, const CommEvent& recv,
+                   const EventRef& got) {
+    const CommEvent& send = event_at(got.rank, got.index);
+    if (send.view != recv.view || send.offset != recv.offset) {
+      std::ostringstream msg;
+      msg << "wire-tag collision: " << ir_.describe(rank, pc)
+          << " matches a message of view "
+          << DimSet::from_mask(send.view).to_string() << "@" << send.offset
+          << " (" << ir_.describe(got.rank, got.index) << ")";
+      add_violation(ViolationCode::kTagCollision, rank, recv.view,
+                    static_cast<std::int64_t>(recv.view),
+                    static_cast<std::int64_t>(send.view), msg.str());
+      return false;
+    }
+    if (send.elements != recv.elements) {
+      std::ostringstream msg;
+      msg << ir_.describe(rank, pc) << " matches a send of "
+          << send.elements << " elements ("
+          << ir_.describe(got.rank, got.index) << ")";
+      add_violation(ViolationCode::kMessageSizeMismatch, rank, recv.view,
+                    recv.elements, send.elements, msg.str());
+      return false;
+    }
+    return true;
+  }
+
+  /// Conservative (in)dependence for the sleep sets: transitions of the
+  /// same rank always conflict; a send conflicts with any receive it
+  /// could feed (same destination and wire tag, and for fixed receives
+  /// the matching source). Everything else touches disjoint program
+  /// counters and FIFO channels, so the two orders reach the same state.
+  bool independent(const Transition& a, const Transition& b) const {
+    if (a.rank == b.rank) return false;
+    const CommEvent& ae = next_event(a.rank);
+    const CommEvent& be = next_event(b.rank);
+    const auto feeds = [](const CommEvent& send, int send_rank,
+                          const CommEvent& recv, int recv_rank) {
+      return send.kind == CommEvent::Kind::kSend && recv.is_receive() &&
+             send.peer == recv_rank &&
+             send.wire_tag() == recv.wire_tag() &&
+             (recv.kind == CommEvent::Kind::kRecvAny ||
+              recv.peer == send_rank);
+    };
+    return !feeds(ae, a.rank, be, b.rank) && !feeds(be, b.rank, ae, a.rank);
+  }
+
+  void on_terminal() {
+    ++report_.stats.complete_executions;
+    std::vector<EventRef> matches;
+    matches.reserve(combine_sites_.size());
+    for (const EventRef& site : combine_sites_) {
+      const std::size_t recv_index =
+          operand_[static_cast<std::size_t>(site.rank)][site.index];
+      matches.push_back(
+          match_[static_cast<std::size_t>(site.rank)][recv_index]);
+    }
+    if (report_.stats.complete_executions == 1) {
+      canonical_matches_ = std::move(matches);
+      return;
+    }
+    for (std::size_t i = 0; i < matches.size(); ++i) {
+      if (matches[i] == canonical_matches_[i]) continue;
+      const EventRef& site = combine_sites_[i];
+      const CommEvent& e = event_at(site.rank, site.index);
+      std::ostringstream msg;
+      msg << "combine order depends on arrival timing: "
+          << ir_.describe(site.rank, site.index) << " folds the operand of "
+          << ir_.describe(canonical_matches_[i].rank,
+                          canonical_matches_[i].index)
+          << " in one interleaving and of "
+          << ir_.describe(matches[i].rank, matches[i].index) << " in another";
+      add_violation(ViolationCode::kNondeterministicCombine, site.rank,
+                    e.view, canonical_matches_[i].rank, matches[i].rank,
+                    msg.str());
+      if (stop_) return;
+    }
+  }
+
+  void on_deadlock() {
+    std::ostringstream key;
+    std::ostringstream msg;
+    int first_blocked = -1;
+    std::uint32_t first_view = kNoView;
+    int blocked = 0;
+    msg << "reachable deadlock";
+    for (int r = 0; r < p_; ++r) {
+      if (rank_done(r)) continue;
+      const std::size_t pc = pc_[static_cast<std::size_t>(r)];
+      key << r << ":" << pc << ";";
+      msg << (blocked == 0 ? ": " : "; ") << ir_.describe(r, pc)
+          << " blocks";
+      if (first_blocked < 0) {
+        first_blocked = r;
+        first_view = next_event(r).view;
+      }
+      ++blocked;
+    }
+    if (!seen_deadlocks_.insert(key.str()).second) return;
+    msg << " (after " << report_.stats.transitions_taken << " transitions)";
+    add_violation(ViolationCode::kDeadlock, first_blocked, first_view, 0,
+                  blocked, msg.str());
+  }
+
+  void explore(const std::vector<Transition>& sleep) {
+    if (stop_) return;
+    const std::vector<Transition> all = enabled();
+    if (all.empty()) {
+      bool done = true;
+      for (int r = 0; r < p_; ++r) done = done && rank_done(r);
+      if (done) {
+        on_terminal();
+      } else {
+        on_deadlock();
+      }
+      return;
+    }
+    std::vector<Transition> active;
+    for (const Transition& t : all) {
+      if (std::find(sleep.begin(), sleep.end(), t) == sleep.end()) {
+        active.push_back(t);
+      } else {
+        ++report_.stats.transitions_pruned;
+      }
+    }
+    // All enabled transitions are asleep: every continuation from here is
+    // a reordering of one already explored. Not a deadlock, not terminal.
+    if (active.empty()) return;
+    std::vector<Transition> explored;
+    for (const Transition& t : active) {
+      if (stop_) break;
+      ++report_.stats.transitions_taken;
+      if (report_.stats.transitions_taken > options_.max_transitions) {
+        std::ostringstream msg;
+        msg << "interleaving exploration exceeded its budget of "
+            << options_.max_transitions
+            << " transitions; coverage is incomplete and nothing is proven";
+        report_.stats.exhausted = false;
+        add_violation(ViolationCode::kStateSpaceBudgetExceeded, kNoRank,
+                      kNoView, options_.max_transitions,
+                      report_.stats.transitions_taken, msg.str());
+        stop_ = true;
+        break;
+      }
+      const bool clean = apply(t);
+      if (clean) {
+        std::vector<Transition> child_sleep;
+        for (const Transition& q : sleep) {
+          if (independent(q, t)) child_sleep.push_back(q);
+        }
+        for (const Transition& q : explored) {
+          if (independent(q, t)) child_sleep.push_back(q);
+        }
+        explore(child_sleep);
+      }
+      undo(t);
+      explored.push_back(t);
+    }
+  }
+
+  const ScheduleIR& ir_;
+  const InterleavingOptions& options_;
+  InterleavingReport& report_;
+  const int p_;
+  std::vector<std::size_t> pc_;
+  std::map<std::tuple<int, int, std::uint64_t>, std::deque<EventRef>>
+      channels_;
+  std::vector<std::vector<EventRef>> match_;
+  std::vector<std::vector<std::size_t>> operand_;
+  std::vector<EventRef> combine_sites_;
+  std::vector<EventRef> canonical_matches_;
+  std::set<std::string> seen_violations_;
+  std::set<std::string> seen_deadlocks_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+double InterleavingStats::reduction_ratio() const {
+  const double considered =
+      static_cast<double>(transitions_taken + transitions_pruned);
+  if (considered <= 0.0) return 0.0;
+  return static_cast<double>(transitions_pruned) / considered;
+}
+
+std::string InterleavingReport::to_string() const {
+  std::ostringstream out;
+  out << (ok() ? "interleavings OK" : "interleavings INVALID") << " ("
+      << stats.complete_executions << " complete executions, "
+      << stats.transitions_taken << " transitions taken, "
+      << stats.transitions_pruned << " DPOR-pruned ("
+      << static_cast<int>(stats.reduction_ratio() * 100.0)
+      << "%), " << total_events << " events"
+      << (stats.exhausted ? "" : ", NOT exhausted") << ")";
+  for (const Violation& violation : violations) {
+    out << "\n" << violation.to_string();
+  }
+  return out.str();
+}
+
+std::string InterleavingReport::to_json() const {
+  std::ostringstream out;
+  out << "{\"ok\":" << (ok() ? "true" : "false")
+      << ",\"exhausted\":" << (stats.exhausted ? "true" : "false")
+      << ",\"complete_executions\":" << stats.complete_executions
+      << ",\"transitions_taken\":" << stats.transitions_taken
+      << ",\"transitions_pruned\":" << stats.transitions_pruned
+      << ",\"reduction_ratio\":" << stats.reduction_ratio()
+      << ",\"total_events\":" << total_events << ",\"violations\":[";
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    const Violation& violation = violations[i];
+    if (i > 0) out << ",";
+    out << "{\"code\":\"" << cubist::to_string(violation.code)
+        << "\",\"rank\":" << violation.rank
+        << ",\"view_mask\":" << violation.view_mask
+        << ",\"expected\":" << violation.expected
+        << ",\"actual\":" << violation.actual << ",\"message\":\""
+        << json_escape(violation.message) << "\"}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+InterleavingReport check_interleavings(const ScheduleIR& ir,
+                                       const InterleavingOptions& options) {
+  CUBIST_CHECK(ir.num_ranks > 0, "IR must have at least one rank");
+  CUBIST_CHECK(ir.ranks.size() == static_cast<std::size_t>(ir.num_ranks),
+               "IR rank-program count " << ir.ranks.size()
+                                        << " does not match num_ranks "
+                                        << ir.num_ranks);
+  CUBIST_CHECK(options.max_transitions > 0,
+               "max_transitions must be positive");
+  CUBIST_CHECK(options.max_violations > 0, "max_violations must be positive");
+  for (int r = 0; r < ir.num_ranks; ++r) {
+    for (const CommEvent& e :
+         ir.ranks[static_cast<std::size_t>(r)].events) {
+      if (e.kind == CommEvent::Kind::kSend ||
+          e.kind == CommEvent::Kind::kRecv) {
+        CUBIST_CHECK(e.peer >= 0 && e.peer < ir.num_ranks,
+                     "event peer " << e.peer << " out of range for "
+                                   << ir.num_ranks << " ranks");
+      }
+      CUBIST_CHECK(e.kind != CommEvent::Kind::kSend || e.peer != r,
+                   "rank " << r << " sends to itself");
+    }
+  }
+  InterleavingReport report;
+  report.total_events = ir.total_events();
+  Explorer explorer(ir, options, report);
+  explorer.run();
+  return report;
+}
+
+}  // namespace cubist

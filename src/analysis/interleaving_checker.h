@@ -1,0 +1,80 @@
+// Interleaving model checker: exhaustively explores every arrival order
+// a schedule IR admits and proves two properties the single-replay
+// verifier cannot:
+//
+//   * Deadlock-freedom under EVERY interleaving — not just the canonical
+//     round-robin replay. Sends never block in minimpi, so the explored
+//     nondeterminism is receive matching: which ready message a wildcard
+//     takes, and how cross-rank progress interleaves.
+//   * Determinism — every complete interleaving folds the same operand
+//     (the same matched send) into every combine. Combines are treated as
+//     non-commuting (Value addition is floating-point), so any
+//     arrival-dependent combine order means arrival-dependent cube bits.
+//
+// The exploration is a stateless DFS with sleep sets (DPOR): transitions
+// that commute (different ranks, touching different FIFO channels) are
+// never explored in both orders. For deterministic binomial schedules the
+// whole interleaving space collapses to one Mazurkiewicz trace, so the
+// checker certifies them in near-linear time; wildcard receives fan out
+// and every matching order is visited. The state space is bounded by
+// `max_transitions`; hitting the budget is reported as a violation
+// (nothing is proven), never as silent success.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/schedule_ir.h"
+#include "analysis/schedule_verifier.h"
+
+namespace cubist {
+
+/// Driver-gate size guards: the debug-build ParallelDriver gate model
+/// checks only schedules at most this big (the ISSUE-scale "small
+/// Figure shapes"); larger ones are certified by the replay verifier
+/// alone plus explicit cubist-analyze runs.
+inline constexpr int kModelCheckMaxRanks = 4;
+inline constexpr std::int64_t kModelCheckMaxEvents = 160;
+
+struct InterleavingOptions {
+  /// Hard cap on explored transitions across the whole DFS.
+  std::int64_t max_transitions = 4'000'000;
+  /// Stop after this many distinct violations (the state space downstream
+  /// of a detected bug is rarely worth walking).
+  int max_violations = 16;
+};
+
+struct InterleavingStats {
+  /// Complete executions reached (maximal interleavings explored).
+  std::int64_t complete_executions = 0;
+  /// Transitions actually executed by the DFS.
+  std::int64_t transitions_taken = 0;
+  /// Enabled transitions skipped because a commuting reordering was
+  /// already covered (the DPOR sleep-set reduction).
+  std::int64_t transitions_pruned = 0;
+  /// False iff the transition budget (or the violation cap) stopped the
+  /// exploration before covering the space.
+  bool exhausted = true;
+
+  /// Fraction of the considered transitions DPOR pruned, in [0, 1).
+  double reduction_ratio() const;
+};
+
+struct InterleavingReport {
+  std::vector<Violation> violations;
+  InterleavingStats stats;
+  std::int64_t total_events = 0;
+
+  /// Proven deadlock-free and deterministic over the whole space.
+  bool ok() const { return violations.empty() && stats.exhausted; }
+  std::string to_string() const;
+  std::string to_json() const;
+};
+
+/// Explores every arrival interleaving of `ir`. Intended for small
+/// configs (<= 4 ranks / <= 4 chunks per the driver-gate constants);
+/// anything bigger should raise `max_transitions` deliberately.
+InterleavingReport check_interleavings(const ScheduleIR& ir,
+                                       const InterleavingOptions& options = {});
+
+}  // namespace cubist

@@ -33,14 +33,51 @@ void add_violation(AnalysisReport& report, ViolationCode code, int rank,
   report.violations.push_back(std::move(violation));
 }
 
+/// One in-flight message of the transport replay: what the send carried.
+struct InFlightMsg {
+  std::int64_t elements = 0;
+  std::uint32_t view = 0;
+  std::int64_t offset = 0;
+};
+
+/// Checks a matched (send, recv) pair: payload sizes must agree, and the
+/// message must belong to the receive's logical stream (same view and
+/// chunk offset — a mismatch means two streams collide on one wire tag).
+void check_match(const InFlightMsg& got, const PlannedOp& op, int rank,
+                 int source, AnalysisReport& report) {
+  if (got.view != op.view || got.offset != op.offset) {
+    std::ostringstream msg;
+    msg << "rank " << rank << " receives view " << view_name(op.view) << "@"
+        << op.offset << " but the matching send from rank " << source
+        << " carries view " << view_name(got.view) << "@" << got.offset
+        << " under the same wire tag";
+    add_violation(report, ViolationCode::kTagCollision, rank, op.view,
+                  static_cast<std::int64_t>(op.view),
+                  static_cast<std::int64_t>(got.view), msg.str());
+    return;
+  }
+  if (got.elements != op.elements) {
+    std::ostringstream msg;
+    msg << "rank " << rank << " expects " << op.elements
+        << " elements from rank " << source << " for view "
+        << view_name(op.view) << " but the matching send carries "
+        << got.elements;
+    add_violation(report, ViolationCode::kMessageSizeMismatch, rank, op.view,
+                  op.elements, got.elements, msg.str());
+  }
+}
+
 /// Replays the per-rank programs under the runtime's semantics (sends
-/// never block; receives block on a FIFO (source, tag) match) and reports
-/// unmatched traffic, payload-size disagreements, and — on a stall — the
-/// wait-for-graph cycle.
+/// never block; receives block on a FIFO (source, wire-tag) match;
+/// wildcard receives take any ready source; combines are local) and
+/// reports unmatched traffic, payload-size disagreements, wire-tag
+/// collisions, and — on a stall — the wait-for-graph cycle. This replay
+/// follows ONE canonical interleaving; the interleaving model checker
+/// (analysis/interleaving_checker.h) covers all the others.
 void check_transport(const CommPlan& plan, AnalysisReport& report) {
   const int p = plan.num_ranks;
-  // In-flight payload sizes per (src, dst, view) stream, FIFO.
-  std::map<std::tuple<int, int, std::uint32_t>, std::deque<std::int64_t>>
+  // In-flight messages per (src, dst, wire tag) channel, FIFO.
+  std::map<std::tuple<int, int, std::uint64_t>, std::deque<InFlightMsg>>
       in_flight;
   std::vector<std::size_t> cursor(static_cast<std::size_t>(p), 0);
 
@@ -53,22 +90,28 @@ void check_transport(const CommPlan& plan, AnalysisReport& report) {
       while (cursor[static_cast<std::size_t>(r)] < ops.size()) {
         const PlannedOp& op = ops[cursor[static_cast<std::size_t>(r)]];
         if (op.kind == PlannedOp::Kind::kSend) {
-          in_flight[{r, op.peer, op.view}].push_back(op.elements);
-        } else {
-          auto it = in_flight.find({op.peer, r, op.view});
+          in_flight[{r, op.peer, op.wire_tag()}].push_back(
+              {op.elements, op.view, op.offset});
+        } else if (op.kind == PlannedOp::Kind::kRecv) {
+          auto it = in_flight.find({op.peer, r, op.wire_tag()});
           if (it == in_flight.end() || it->second.empty()) break;  // blocked
-          const std::int64_t got = it->second.front();
+          check_match(it->second.front(), op, r, op.peer, report);
           it->second.pop_front();
-          if (got != op.elements) {
-            std::ostringstream msg;
-            msg << "rank " << r << " expects " << op.elements
-                << " elements from rank " << op.peer << " for view "
-                << view_name(op.view) << " but the matching send carries "
-                << got;
-            add_violation(report, ViolationCode::kMessageSizeMismatch, r,
-                          op.view, op.elements, got, msg.str());
+        } else if (op.kind == PlannedOp::Kind::kRecvAny) {
+          int src = -1;
+          for (int candidate = 0; candidate < p; ++candidate) {
+            auto it = in_flight.find({candidate, r, op.wire_tag()});
+            if (it != in_flight.end() && !it->second.empty()) {
+              src = candidate;
+              break;
+            }
           }
+          if (src < 0) break;  // blocked
+          auto it = in_flight.find({src, r, op.wire_tag()});
+          check_match(it->second.front(), op, r, src, report);
+          it->second.pop_front();
         }
+        // kCombine is local compute: always executable.
         ++cursor[static_cast<std::size_t>(r)];
         progress = true;
       }
@@ -137,20 +180,25 @@ void check_transport(const CommPlan& plan, AnalysisReport& report) {
     const PlannedOp& op = rank_plan.ops[cursor[static_cast<std::size_t>(r)]];
     std::ostringstream msg;
     msg << "rank " << r << " blocks forever receiving " << op.elements
-        << " elements of view " << view_name(op.view) << " from rank "
-        << op.peer;
+        << " elements of view " << view_name(op.view) << " from ";
+    if (op.kind == PlannedOp::Kind::kRecvAny) {
+      msg << "any source (wire tag " << op.wire_tag() << ")";
+    } else {
+      msg << "rank " << op.peer;
+    }
     add_violation(report, ViolationCode::kUnmatchedRecv, r, op.view,
                   op.elements, 0, msg.str());
   }
-  for (const auto& [key, sizes] : in_flight) {
-    const auto& [src, dst, view] = key;
-    for (std::int64_t elements : sizes) {
+  for (const auto& [key, messages] : in_flight) {
+    const auto& [src, dst, tag] = key;
+    (void)tag;
+    for (const InFlightMsg& message : messages) {
       std::ostringstream msg;
-      msg << "rank " << src << " sends " << elements << " elements of view "
-          << view_name(view) << " to rank " << dst
-          << " but no receive consumes them";
-      add_violation(report, ViolationCode::kUnmatchedSend, src, view, 0,
-                    elements, msg.str());
+      msg << "rank " << src << " sends " << message.elements
+          << " elements of view " << view_name(message.view) << " to rank "
+          << dst << " but no receive consumes them";
+      add_violation(report, ViolationCode::kUnmatchedSend, src, message.view,
+                    0, message.elements, msg.str());
     }
   }
 }
@@ -305,7 +353,10 @@ void check_leads(const ScheduleSpec& spec, const CommPlan& plan,
   }
 }
 
-void append_json_escaped(std::ostringstream& out, const std::string& text) {
+}  // namespace
+
+std::string json_escape(const std::string& text) {
+  std::ostringstream out;
   for (char c : text) {
     switch (c) {
       case '"':
@@ -325,9 +376,8 @@ void append_json_escaped(std::ostringstream& out, const std::string& text) {
         }
     }
   }
+  return out.str();
 }
-
-}  // namespace
 
 const char* to_string(ViolationCode code) {
   switch (code) {
@@ -355,6 +405,16 @@ const char* to_string(ViolationCode code) {
       return "wire_volume_exceeds_bound";
     case ViolationCode::kUnknownViewTag:
       return "unknown_view_tag";
+    case ViolationCode::kTagCollision:
+      return "tag_collision";
+    case ViolationCode::kNondeterministicCombine:
+      return "nondeterministic_combine";
+    case ViolationCode::kUnorderedCombineRace:
+      return "unordered_combine_race";
+    case ViolationCode::kStateSpaceBudgetExceeded:
+      return "state_space_budget_exceeded";
+    case ViolationCode::kMalformedTrace:
+      return "malformed_trace";
   }
   return "unknown";
 }
@@ -405,9 +465,8 @@ std::string AnalysisReport::to_json() const {
         << "\",\"rank\":" << violation.rank
         << ",\"view_mask\":" << violation.view_mask
         << ",\"expected\":" << violation.expected
-        << ",\"actual\":" << violation.actual << ",\"message\":\"";
-    append_json_escaped(out, violation.message);
-    out << "\"}";
+        << ",\"actual\":" << violation.actual << ",\"message\":\""
+        << json_escape(violation.message) << "\"}";
   }
   out << "]}";
   return out.str();

@@ -58,9 +58,30 @@ enum class ViolationCode {
   kWireVolumeExceedsBound,
   /// Traffic planned or measured under a tag that is no lattice view.
   kUnknownViewTag,
+  /// A receive matched a message from a different logical stream (wrong
+  /// view or chunk offset): two streams collide on one wire tag and a
+  /// wildcard receive can steal across them.
+  kTagCollision,
+  /// Two interleavings of the same schedule fold combine operands in
+  /// different orders — the cube bits depend on arrival timing.
+  kNondeterministicCombine,
+  /// A runtime combine consumed a wildcard-received operand while another
+  /// matching send was concurrent (not happens-before-ordered) with the
+  /// one consumed: a message-level race observed in the event trace.
+  kUnorderedCombineRace,
+  /// The interleaving exploration hit its transition budget before
+  /// covering the state space; nothing is proven.
+  kStateSpaceBudgetExceeded,
+  /// A recorded event trace is internally inconsistent (bad match index,
+  /// duplicate consumption, stalled causality) — recording bug or tamper.
+  kMalformedTrace,
 };
 
 const char* to_string(ViolationCode code);
+
+/// Escapes `text` for embedding in a JSON string literal (shared by the
+/// analysis reports' to_json renderings).
+std::string json_escape(const std::string& text);
 
 /// Sentinel for violations not tied to a view or rank.
 inline constexpr std::uint32_t kNoView = 0xffffffffu;

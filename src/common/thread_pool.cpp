@@ -146,6 +146,10 @@ ThreadPool& ThreadPool::global() {
 }
 
 int ThreadPool::configured_threads() {
+  // getenv without setenv anywhere in the process is data-race-free; the
+  // only caller that matters is global()'s magic static, which the
+  // language serializes.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const int from_env = parse_threads(std::getenv("CUBIST_THREADS"));
   if (from_env > 0) return from_env;
   const unsigned hw = std::thread::hardware_concurrency();

@@ -63,6 +63,20 @@ struct ParallelOptions {
   /// Post-run auditor: diff the measured per-view ledger bytes against
   /// the static plan; any divergence throws InternalError.
   bool audit_volume = false;
+  /// Pre-flight model check (analysis/interleaving_checker.h): exhaustively
+  /// explore every arrival interleaving of the planned reduction schedule
+  /// and prove deadlock freedom and combine determinism under all of them.
+  /// Exhaustive exploration only scales to small configs, so the gate is
+  /// skipped silently when the grid exceeds kModelCheckMaxRanks or the plan
+  /// exceeds kModelCheckMaxEvents; within bounds, violations throw
+  /// InternalError.
+  bool model_check = kScheduleAnalysisDefault;
+  /// Post-run happens-before auditor (analysis/hb_auditor.h): record every
+  /// send/receive/combine/barrier during the run, rebuild the
+  /// happens-before graph offline and hard-fail (InternalError) on any
+  /// structural damage or unordered conflicting combine pair. Off by
+  /// default — recording keeps the full event trace in memory.
+  bool audit_hb = false;
 };
 
 /// Per-rank accounting of one parallel construction.

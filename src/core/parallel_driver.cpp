@@ -4,6 +4,8 @@
 #include <atomic>
 #include <mutex>
 
+#include "analysis/hb_auditor.h"
+#include "analysis/interleaving_checker.h"
 #include "analysis/schedule_verifier.h"
 #include "common/error.h"
 #include "minimpi/proc_grid.h"
@@ -70,6 +72,15 @@ ParallelCubeReport run_parallel_cube(const std::vector<std::int64_t>& sizes,
     CUBIST_ASSERT(preflight.ok(), "pre-flight schedule verification failed:\n"
                                       << preflight.to_string());
   }
+  if (options.model_check && p <= kModelCheckMaxRanks) {
+    const ScheduleIR ir = build_comm_plan(schedule_spec).ir();
+    if (ir.total_events() <= kModelCheckMaxEvents) {
+      const InterleavingReport interleavings = check_interleavings(ir);
+      CUBIST_ASSERT(interleavings.ok(),
+                    "pre-flight interleaving model check failed:\n"
+                        << interleavings.to_string());
+    }
+  }
 
   ParallelCubeReport report;
   report.rank_stats.resize(static_cast<std::size_t>(p));
@@ -127,7 +138,12 @@ ParallelCubeReport run_parallel_cube(const std::vector<std::int64_t>& sizes,
                                    static_cast<std::size_t>(mine.size())));
       }
     }
-  });
+  }, /*record_trace=*/options.audit_hb);
+  if (options.audit_hb) {
+    const HbAuditReport hb = audit_event_trace(report.run.trace);
+    CUBIST_ASSERT(hb.ok(),
+                  "post-run happens-before audit failed:\n" << hb.to_string());
+  }
 
   report.total_nnz = total_nnz.load();
   double makespan = 0.0;

@@ -32,6 +32,11 @@ void Comm::charge_compute(std::int64_t cells_scanned, std::int64_t updates) {
   clock_ += state_.model().seconds_for_updates(static_cast<double>(updates));
 }
 
+std::uint64_t Comm::trace(const TraceEvent& event) {
+  if (!state_.tracing()) return kNoTraceSeq;
+  return state_.record_event(rank_, event);
+}
+
 void Comm::send_wire(int dst, std::uint64_t tag, std::int64_t logical_bytes,
                      std::vector<std::byte> payload) {
   CUBIST_CHECK(dst >= 0 && dst < size(), "bad destination rank " << dst);
@@ -45,6 +50,8 @@ void Comm::send_wire(int dst, std::uint64_t tag, std::int64_t logical_bytes,
   Message message;
   message.payload = std::move(payload);
   message.arrival_time = clock_ + state_.model().latency;
+  message.trace_seq =
+      trace({TraceEventKind::kSend, dst, tag, logical_bytes});
   state_.ledger().record(tag, logical_bytes, wire_bytes);
   logical_bytes_sent_ += logical_bytes;
   wire_bytes_sent_ += wire_bytes;
@@ -62,14 +69,27 @@ std::vector<std::byte> Comm::recv_bytes(int src, std::uint64_t tag) {
   CUBIST_CHECK(src != rank_, "self-receive is not supported");
   Message message = state_.mailbox(rank_).receive(src, tag);
   clock_ = std::max(clock_, message.arrival_time);
+  TraceEvent event{TraceEventKind::kRecv, src, tag,
+                   static_cast<std::int64_t>(message.payload.size())};
+  event.match_seq = message.trace_seq;
+  last_recv_seq_ = trace(event);
   return std::move(message.payload);
+}
+
+std::pair<int, std::vector<std::byte>> Comm::recv_wire_any(
+    std::uint64_t tag, const std::function<bool(int)>& accept) {
+  auto [source, message] = state_.mailbox(rank_).receive_any(tag, accept);
+  clock_ = std::max(clock_, message.arrival_time);
+  TraceEvent event{TraceEventKind::kRecvAny, source, tag,
+                   static_cast<std::int64_t>(message.payload.size())};
+  event.match_seq = message.trace_seq;
+  last_recv_seq_ = trace(event);
+  return {source, std::move(message.payload)};
 }
 
 std::pair<int, std::vector<std::byte>> Comm::recv_bytes_any(
     std::uint64_t tag) {
-  auto [source, message] = state_.mailbox(rank_).receive_any(tag);
-  clock_ = std::max(clock_, message.arrival_time);
-  return {source, std::move(message.payload)};
+  return recv_wire_any(tag, nullptr);
 }
 
 void Comm::send_values(int dst, std::uint64_t tag,
@@ -111,6 +131,10 @@ void Comm::reduce(std::span<const int> group, DenseArray& data,
     const std::int64_t count = std::min(piece, total - offset);
     const std::span<Value> chunk(data.data() + offset,
                                  static_cast<std::size_t>(count));
+    if (options.fault == ReduceOptions::Fault::kArrivalOrderCombine) {
+      reduce_chunk_arrival_order(group, me, chunk, tag, op, options);
+      continue;
+    }
     for (int step = 1; step < g; step <<= 1) {
       if ((me & step) != 0) {
         send_wire(group[me - step], tag,
@@ -124,11 +148,60 @@ void Comm::reduce(std::span<const int> group, DenseArray& data,
         const std::int64_t updates =
             combine_chunk(op, chunk, payload, options.combine_pool,
                           options.combine_workers);
+        TraceEvent combined{TraceEventKind::kCombine, group[me + step], tag,
+                            count};
+        combined.operand_seq = last_recv_seq_;
+        trace(combined);
         // Charge the combine to the receiver's clock: one op per combined
         // element (run-skipped identity cells cost nothing).
         charge_compute(0, updates);
       }
     }
+  }
+}
+
+void Comm::reduce_chunk_arrival_order(std::span<const int> group, int me,
+                                      std::span<Value> chunk,
+                                      std::uint64_t tag, AggregateOp op,
+                                      const ReduceOptions& options) {
+  // TEST-ONLY (ReduceOptions::Fault::kArrivalOrderCombine): the binomial
+  // schedule's children for this member, folded in virtual-arrival order
+  // through a wildcard receive instead of the fixed step order. The
+  // shipped totals are unchanged — only the fold ORDER becomes
+  // timing-dependent, which is exactly the bug the happens-before auditor
+  // must catch.
+  const int g = static_cast<int>(group.size());
+  int parent = -1;
+  std::vector<bool> pending(static_cast<std::size_t>(size()), false);
+  int sources = 0;
+  for (int step = 1; step < g; step <<= 1) {
+    if ((me & step) != 0) {
+      parent = group[me - step];
+      break;
+    }
+    if (me + step < g) {
+      pending[static_cast<std::size_t>(group[me + step])] = true;
+      ++sources;
+    }
+  }
+  const auto accept = [&](int src) {
+    return pending[static_cast<std::size_t>(src)];
+  };
+  for (; sources > 0; --sources) {
+    auto [src, payload] = recv_wire_any(tag, accept);
+    pending[static_cast<std::size_t>(src)] = false;
+    const std::int64_t updates = combine_chunk(
+        op, chunk, payload, options.combine_pool, options.combine_workers);
+    TraceEvent combined{TraceEventKind::kCombine, src, tag,
+                        static_cast<std::int64_t>(chunk.size())};
+    combined.operand_seq = last_recv_seq_;
+    trace(combined);
+    charge_compute(0, updates);
+  }
+  if (parent >= 0) {
+    send_wire(parent, tag,
+              static_cast<std::int64_t>(chunk.size() * sizeof(Value)),
+              encode_chunk(chunk, op, options.wire));
   }
 }
 
@@ -192,14 +265,16 @@ std::vector<std::vector<std::byte>> Comm::gather_bytes(
     return !seen[static_cast<std::size_t>(src)];
   };
   for (int remaining = size() - 1; remaining > 0; --remaining) {
-    auto [src, message] = state_.mailbox(rank_).receive_any(tag, pending);
-    clock_ = std::max(clock_, message.arrival_time);
+    auto [src, bytes] = recv_wire_any(tag, pending);
     seen[static_cast<std::size_t>(src)] = true;
-    gathered[static_cast<std::size_t>(src)] = std::move(message.payload);
+    gathered[static_cast<std::size_t>(src)] = std::move(bytes);
   }
   return gathered;
 }
 
-void Comm::barrier() { clock_ = state_.barrier(clock_); }
+void Comm::barrier() {
+  clock_ = state_.barrier(clock_);
+  trace({TraceEventKind::kBarrier, -1, 0, 0});
+}
 
 }  // namespace cubist

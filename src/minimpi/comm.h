@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -16,6 +17,7 @@
 #include "array/dense_array.h"
 #include "array/wire_codec.h"
 #include "minimpi/cost_model.h"
+#include "minimpi/event_trace.h"
 
 namespace cubist {
 
@@ -39,6 +41,20 @@ struct ReduceOptions {
   /// Per-call concurrency cap for the combine (0 = pool policy). The cube
   /// builder passes its per-rank budget here.
   int combine_workers = 1;
+
+  /// TEST-ONLY fault injection for the race-detection suite: makes the
+  /// runtime commit a classic distributed-reduction bug on purpose so
+  /// tests can prove the happens-before auditor catches it in a recorded
+  /// trace. Never set outside tests.
+  enum class Fault {
+    kNone,
+    /// Receivers consume and fold operands in virtual-arrival order via a
+    /// wildcard receive instead of the fixed binomial step order: totals
+    /// stay right (the ledger audit passes) but the combine order — and
+    /// with it the floating-point bits — depends on timing.
+    kArrivalOrderCombine,
+  };
+  Fault fault = Fault::kNone;
 };
 
 class Comm {
@@ -132,12 +148,31 @@ class Comm {
   /// size, and records `logical_bytes` next to it in the ledger.
   void send_wire(int dst, std::uint64_t tag, std::int64_t logical_bytes,
                  std::vector<std::byte> payload);
+  /// The one wildcard-receive primitive: earliest-arrival match under
+  /// `tag` among sources `accept` admits (null = all), clock-synced and
+  /// event-trace-recorded. Every match-any consumer (recv_bytes_any,
+  /// gather_bytes, the fault-injected reduce) goes through here so the
+  /// happens-before auditor sees every arrival-order-dependent match.
+  std::pair<int, std::vector<std::byte>> recv_wire_any(
+      std::uint64_t tag, const std::function<bool(int)>& accept);
+  /// One chunk of reduce() under Fault::kArrivalOrderCombine (test-only):
+  /// same children, same parent, but operands folded in arrival order.
+  void reduce_chunk_arrival_order(std::span<const int> group, int me,
+                                  std::span<Value> chunk, std::uint64_t tag,
+                                  AggregateOp op,
+                                  const ReduceOptions& options);
+  /// Appends to this rank's event trace when tracing is on; returns the
+  /// event index (kNoTraceSeq when tracing is off).
+  std::uint64_t trace(const TraceEvent& event);
 
   RuntimeState& state_;
   int rank_;
   double clock_ = 0.0;
   std::int64_t logical_bytes_sent_ = 0;
   std::int64_t wire_bytes_sent_ = 0;
+  /// Trace index of this rank's most recent receive — the operand
+  /// provenance recorded by reduce()'s combine events.
+  std::uint64_t last_recv_seq_ = kNoTraceSeq;
 };
 
 }  // namespace cubist

@@ -27,9 +27,13 @@ class AbortedError : public std::runtime_error {
 
 /// A message in flight. `arrival_time` is the virtual time at which the
 /// receiver may consume it (sender clock at send + latency + transfer).
+/// `trace_seq` is the sender-side event-trace index of the send when the
+/// runtime records traces (see minimpi/event_trace.h), so the matching
+/// receive can record exactly which send it consumed.
 struct Message {
   std::vector<std::byte> payload;
   double arrival_time = 0.0;
+  std::uint64_t trace_seq = ~std::uint64_t{0};
 };
 
 class Mailbox {

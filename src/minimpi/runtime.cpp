@@ -13,11 +13,12 @@
 namespace cubist {
 
 RunReport Runtime::run(int num_ranks, const CostModel& model,
-                       const std::function<void(Comm&)>& fn) {
+                       const std::function<void(Comm&)>& fn,
+                       bool record_trace) {
   CUBIST_CHECK(num_ranks >= 1, "need at least one rank");
   CUBIST_CHECK(fn != nullptr, "null rank function");
 
-  RuntimeState state(num_ranks, model);
+  RuntimeState state(num_ranks, model, record_trace);
   std::vector<double> rank_seconds(static_cast<std::size_t>(num_ranks), 0.0);
 
   // The SPMD rank threads all share the process-wide ThreadPool for their
@@ -58,6 +59,7 @@ RunReport Runtime::run(int num_ranks, const CostModel& model,
   RunReport report;
   report.wall_seconds = timer.elapsed_seconds();
   report.volume = state.ledger().snapshot();
+  report.trace = state.take_trace();
   report.rank_seconds = std::move(rank_seconds);
   report.makespan_seconds = *std::max_element(report.rank_seconds.begin(),
                                               report.rank_seconds.end());

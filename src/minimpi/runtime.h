@@ -11,6 +11,7 @@
 
 #include "minimpi/comm.h"
 #include "minimpi/cost_model.h"
+#include "minimpi/event_trace.h"
 #include "minimpi/ledger.h"
 
 namespace cubist {
@@ -27,14 +28,20 @@ struct RunReport {
   /// Real wall-clock time of the run (1-core host: roughly the total work
   /// of all ranks serialized).
   double wall_seconds = 0.0;
+  /// Per-rank communication event record (empty unless the run was
+  /// started with record_trace) — the happens-before auditor's input.
+  EventTrace trace;
 };
 
 class Runtime {
  public:
   /// Runs `fn(comm)` on `num_ranks` ranks and reports. Rethrows the first
-  /// rank exception after shutting down the others.
+  /// rank exception after shutting down the others. With `record_trace`,
+  /// every rank's sends/receives/combines/barriers are recorded into
+  /// RunReport::trace for offline happens-before auditing.
   static RunReport run(int num_ranks, const CostModel& model,
-                       const std::function<void(Comm&)>& fn);
+                       const std::function<void(Comm&)>& fn,
+                       bool record_trace = false);
 };
 
 }  // namespace cubist

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "minimpi/cost_model.h"
+#include "minimpi/event_trace.h"
 #include "minimpi/ledger.h"
 #include "minimpi/mailbox.h"
 
@@ -19,11 +20,13 @@ namespace cubist {
 
 class RuntimeState {
  public:
-  RuntimeState(int size, CostModel model) : size_(size), model_(model) {
+  RuntimeState(int size, CostModel model, bool record_trace = false)
+      : size_(size), model_(model), tracing_(record_trace) {
     mailboxes_.reserve(static_cast<std::size_t>(size));
     for (int r = 0; r < size; ++r) {
       mailboxes_.push_back(std::make_unique<Mailbox>());
     }
+    if (tracing_) trace_.ranks.resize(static_cast<std::size_t>(size));
   }
 
   int size() const { return size_; }
@@ -32,6 +35,21 @@ class RuntimeState {
     return *mailboxes_[static_cast<std::size_t>(rank)];
   }
   VolumeLedger& ledger() { return ledger_; }
+
+  // --- event tracing (for the happens-before auditor) ---
+
+  bool tracing() const { return tracing_; }
+  /// Appends `event` to `rank`'s trace and returns its index. Lock-free
+  /// by construction: each rank thread appends only to its own vector,
+  /// and the trace is read only after every rank thread has joined.
+  std::uint64_t record_event(int rank, const TraceEvent& event) {
+    std::vector<TraceEvent>& events =
+        trace_.ranks[static_cast<std::size_t>(rank)];
+    events.push_back(event);
+    return static_cast<std::uint64_t>(events.size()) - 1;
+  }
+  /// Moves the trace out (call after the rank threads joined).
+  EventTrace take_trace() { return std::move(trace_); }
 
   void abort_all() {
     aborted_.store(true);
@@ -71,7 +89,9 @@ class RuntimeState {
  private:
   int size_;
   CostModel model_;
+  const bool tracing_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  EventTrace trace_;
   VolumeLedger ledger_;
   std::atomic<bool> aborted_{false};
 

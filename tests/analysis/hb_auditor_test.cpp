@@ -1,0 +1,176 @@
+// The happens-before auditor on real recorded traces: clean runs audit
+// clean, the injected arrival-order fault is diagnosed as a combine race,
+// and structurally tampered traces (dropped send, cross-tag consumption,
+// double consumption) each get their specific diagnosis.
+#include <gtest/gtest.h>
+
+#include "cubist/cubist.h"
+
+namespace cubist {
+namespace {
+
+bool has_code(const HbAuditReport& report, ViolationCode code) {
+  for (const Violation& violation : report.violations) {
+    if (violation.code == code) return true;
+  }
+  return false;
+}
+
+/// Records one 4-rank reduce (rank-dependent data) and returns the trace.
+EventTrace traced_reduce(ReduceOptions::Fault fault,
+                         std::int64_t chunk_elements = 0) {
+  const std::vector<int> group = {0, 1, 2, 3};
+  const RunReport run = Runtime::run(
+      4, CostModel{},
+      [&](Comm& comm) {
+        DenseArray block(Shape{{8}});
+        for (std::int64_t i = 0; i < block.size(); ++i) {
+          block[i] = static_cast<Value>(comm.rank() + 1) *
+                     static_cast<Value>(i + 1);
+        }
+        ReduceOptions options;
+        options.fault = fault;
+        options.max_message_elements = chunk_elements;
+        comm.reduce(group, block, /*tag=*/3, AggregateOp::kSum, options);
+        comm.barrier();
+      },
+      /*record_trace=*/true);
+  return run.trace;
+}
+
+TEST(HbAuditorTest, CleanReduceTraceAuditsClean) {
+  const HbAuditReport report =
+      audit_event_trace(traced_reduce(ReduceOptions::Fault::kNone));
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_GT(report.events, 0);
+  EXPECT_EQ(report.message_edges, 3);  // binomial tree over 4 ranks
+  EXPECT_EQ(report.combines_checked, 3);
+  EXPECT_EQ(report.barrier_rounds, 1);
+  EXPECT_EQ(report.races_checked, 0);  // no wildcard receives
+}
+
+TEST(HbAuditorTest, ChunkedCleanTraceAuditsClean) {
+  const HbAuditReport report = audit_event_trace(
+      traced_reduce(ReduceOptions::Fault::kNone, /*chunk_elements=*/4));
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.message_edges, 6);  // two chunks per tree edge
+}
+
+TEST(HbAuditorTest, ArrivalOrderFaultIsAnUnorderedCombineRace) {
+  const HbAuditReport report = audit_event_trace(
+      traced_reduce(ReduceOptions::Fault::kArrivalOrderCombine));
+  EXPECT_FALSE(report.ok());
+  EXPECT_GT(report.races_checked, 0);
+  EXPECT_TRUE(has_code(report, ViolationCode::kUnorderedCombineRace))
+      << report.to_string();
+}
+
+TEST(HbAuditorTest, DroppedSendIsAnUnmatchedReceive) {
+  EventTrace trace = traced_reduce(ReduceOptions::Fault::kNone);
+  bool tampered = false;
+  for (std::vector<TraceEvent>& rank_events : trace.ranks) {
+    for (TraceEvent& event : rank_events) {
+      if (event.kind == TraceEventKind::kRecv) {
+        event.match_seq = kNoTraceSeq;  // the send "never happened"
+        tampered = true;
+        break;
+      }
+    }
+    if (tampered) break;
+  }
+  ASSERT_TRUE(tampered);
+  const HbAuditReport report = audit_event_trace(trace);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_code(report, ViolationCode::kUnmatchedRecv))
+      << report.to_string();
+  // The orphaned send is flagged from the other side too.
+  EXPECT_TRUE(has_code(report, ViolationCode::kUnmatchedSend));
+}
+
+TEST(HbAuditorTest, CrossTagConsumptionIsATagCollision) {
+  EventTrace trace = traced_reduce(ReduceOptions::Fault::kNone);
+  bool tampered = false;
+  for (std::vector<TraceEvent>& rank_events : trace.ranks) {
+    for (TraceEvent& event : rank_events) {
+      if (event.kind == TraceEventKind::kRecv) {
+        event.tag += 1;  // claims to have consumed another stream
+        tampered = true;
+        break;
+      }
+    }
+    if (tampered) break;
+  }
+  ASSERT_TRUE(tampered);
+  const HbAuditReport report = audit_event_trace(trace);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_code(report, ViolationCode::kTagCollision))
+      << report.to_string();
+}
+
+TEST(HbAuditorTest, DoubleConsumptionIsMalformed) {
+  EventTrace trace =
+      traced_reduce(ReduceOptions::Fault::kNone, /*chunk_elements=*/4);
+  // Point the second chunk's receive at the first chunk's send: one
+  // message consumed twice, its sibling never.
+  TraceEvent* first = nullptr;
+  bool tampered = false;
+  for (std::vector<TraceEvent>& rank_events : trace.ranks) {
+    for (TraceEvent& event : rank_events) {
+      if (event.kind != TraceEventKind::kRecv) continue;
+      if (first == nullptr) {
+        first = &event;
+      } else if (event.peer == first->peer && event.tag == first->tag) {
+        event.match_seq = first->match_seq;
+        tampered = true;
+        break;
+      }
+    }
+    if (tampered) break;
+  }
+  ASSERT_TRUE(tampered);
+  const HbAuditReport report = audit_event_trace(trace);
+  EXPECT_FALSE(report.ok());
+  EXPECT_TRUE(has_code(report, ViolationCode::kMalformedTrace))
+      << report.to_string();
+}
+
+TEST(HbAuditorTest, EmptyTraceAuditsClean) {
+  const HbAuditReport report = audit_event_trace(EventTrace{});
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.events, 0);
+}
+
+TEST(HbAuditorTest, UntracedRunYieldsEmptyTrace) {
+  const RunReport run = Runtime::run(2, CostModel{}, [](Comm& comm) {
+    comm.barrier();
+  });
+  EXPECT_EQ(run.trace.total_events(), 0);
+}
+
+TEST(HbAuditorTest, GatherWildcardsAreRaceFreeWithoutCombines) {
+  // gather_bytes consumes in arrival order (wildcard), but there is no
+  // combine downstream, so arrival order is observable only in timing —
+  // the auditor checks no races and stays clean.
+  const RunReport run = Runtime::run(
+      4, CostModel{},
+      [](Comm& comm) {
+        const std::vector<std::byte> payload(
+            static_cast<std::size_t>(comm.rank() + 1), std::byte{7});
+        comm.gather_bytes(0, /*tag=*/9, payload);
+      },
+      /*record_trace=*/true);
+  const HbAuditReport report = audit_event_trace(run.trace);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  EXPECT_EQ(report.races_checked, 0);
+}
+
+TEST(HbAuditorTest, JsonRenders) {
+  const HbAuditReport report =
+      audit_event_trace(traced_reduce(ReduceOptions::Fault::kNone));
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"message_edges\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cubist

@@ -1,0 +1,151 @@
+// The schedule IR is the planner's ops verbatim, its dependency edges
+// recover program order plus canonical message matching, and the three
+// seeded mutations are expressible exactly when the schedule has a site
+// for them.
+#include <gtest/gtest.h>
+
+#include "cubist/cubist.h"
+
+namespace cubist {
+namespace {
+
+ScheduleSpec spec_of(std::vector<std::int64_t> sizes,
+                     std::vector<int> log_splits, std::int64_t cap = 0) {
+  ScheduleSpec spec;
+  spec.sizes = std::move(sizes);
+  spec.log_splits = std::move(log_splits);
+  spec.reduce_message_elements = cap;
+  return spec;
+}
+
+ScheduleIR ir_of(const ScheduleSpec& spec) {
+  return build_comm_plan(spec).ir();
+}
+
+std::int64_t count_kind(const ScheduleIR& ir, CommEvent::Kind kind) {
+  std::int64_t count = 0;
+  for (const RankProgram& rank : ir.ranks) {
+    for (const CommEvent& event : rank.events) {
+      if (event.kind == kind) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(ScheduleIrTest, IrIsThePlanOpsVerbatim) {
+  const ScheduleSpec spec = spec_of({4, 4, 4}, {1, 1, 0});
+  const CommPlan plan = build_comm_plan(spec);
+  const ScheduleIR ir = plan.ir();
+  ASSERT_EQ(ir.num_ranks, plan.num_ranks);
+  ASSERT_EQ(static_cast<int>(ir.ranks.size()), plan.num_ranks);
+  for (int r = 0; r < plan.num_ranks; ++r) {
+    EXPECT_EQ(ir.ranks[static_cast<std::size_t>(r)].events,
+              plan.ranks[static_cast<std::size_t>(r)].ops);
+  }
+  EXPECT_EQ(ir.total_events(),
+            plan.total_messages() * 2 +
+                count_kind(ir, CommEvent::Kind::kCombine));
+}
+
+TEST(ScheduleIrTest, EveryReceiveFeedsACombine) {
+  const ScheduleIR ir = ir_of(spec_of({4, 4, 4}, {2, 0, 0}, /*cap=*/4));
+  for (const RankProgram& rank : ir.ranks) {
+    for (std::size_t i = 0; i < rank.events.size(); ++i) {
+      if (!rank.events[i].is_receive()) continue;
+      ASSERT_LT(i + 1, rank.events.size());
+      const CommEvent& combine = rank.events[i + 1];
+      EXPECT_EQ(combine.kind, CommEvent::Kind::kCombine);
+      EXPECT_EQ(combine.view, rank.events[i].view);
+      EXPECT_EQ(combine.offset, rank.events[i].offset);
+      EXPECT_EQ(combine.elements, rank.events[i].elements);
+    }
+  }
+}
+
+TEST(ScheduleIrTest, WireTagDefaultsToViewMask) {
+  CommEvent event{CommEvent::Kind::kSend, 1, /*view=*/5, 16};
+  EXPECT_EQ(event.wire_tag(), 5u);
+  event.tag = 99;
+  EXPECT_EQ(event.wire_tag(), 99u);
+}
+
+TEST(ScheduleIrTest, DependencyEdgesPairEverySend) {
+  const ScheduleIR ir = ir_of(spec_of({4, 4, 4}, {1, 1, 0}));
+  const std::vector<IrEdge> edges = dependency_edges(ir);
+  std::int64_t program = 0;
+  std::int64_t message = 0;
+  for (const IrEdge& edge : edges) {
+    if (edge.kind == IrEdge::Kind::kProgram) {
+      EXPECT_EQ(edge.from_rank, edge.to_rank);
+      EXPECT_EQ(edge.from_index + 1, edge.to_index);
+      ++program;
+    } else {
+      const CommEvent& from =
+          ir.ranks[static_cast<std::size_t>(edge.from_rank)]
+              .events[edge.from_index];
+      const CommEvent& to = ir.ranks[static_cast<std::size_t>(edge.to_rank)]
+                                .events[edge.to_index];
+      EXPECT_EQ(from.kind, CommEvent::Kind::kSend);
+      EXPECT_TRUE(to.is_receive());
+      EXPECT_EQ(from.wire_tag(), to.wire_tag());
+      ++message;
+    }
+  }
+  std::int64_t expected_program = 0;
+  for (const RankProgram& rank : ir.ranks) {
+    if (!rank.events.empty()) {
+      expected_program += static_cast<std::int64_t>(rank.events.size()) - 1;
+    }
+  }
+  EXPECT_EQ(program, expected_program);
+  EXPECT_EQ(message, count_kind(ir, CommEvent::Kind::kSend));
+}
+
+TEST(ScheduleIrTest, DropSendRemovesExactlyOneSend) {
+  ScheduleIR ir = ir_of(spec_of({4, 4, 4}, {2, 0, 0}));
+  const std::int64_t sends = count_kind(ir, CommEvent::Kind::kSend);
+  const std::string note =
+      apply_schedule_mutation(ir, ScheduleMutation::kDropSend);
+  EXPECT_FALSE(note.empty());
+  EXPECT_EQ(count_kind(ir, CommEvent::Kind::kSend), sends - 1);
+}
+
+TEST(ScheduleIrTest, ArrivalOrderMutationWildcardsAMultiSourceSite) {
+  ScheduleIR ir = ir_of(spec_of({4, 4, 4}, {2, 0, 0}));
+  ASSERT_EQ(count_kind(ir, CommEvent::Kind::kRecvAny), 0);
+  const std::string note =
+      apply_schedule_mutation(ir, ScheduleMutation::kArrivalOrderCombine);
+  EXPECT_FALSE(note.empty());
+  EXPECT_GE(count_kind(ir, CommEvent::Kind::kRecvAny), 2);
+}
+
+TEST(ScheduleIrTest, TagCollisionMutationCreatesACollidingWildcardStream) {
+  ScheduleIR ir = ir_of(spec_of({4, 4, 4}, {2, 0, 0}, /*cap=*/4));
+  const std::string note =
+      apply_schedule_mutation(ir, ScheduleMutation::kTagCollision);
+  EXPECT_FALSE(note.empty());
+  EXPECT_GE(count_kind(ir, CommEvent::Kind::kRecvAny), 2);
+}
+
+TEST(ScheduleIrTest, MutationsInexpressibleWithoutCommunication) {
+  for (ScheduleMutation mutation :
+       {ScheduleMutation::kDropSend, ScheduleMutation::kArrivalOrderCombine,
+        ScheduleMutation::kTagCollision}) {
+    ScheduleIR ir = ir_of(spec_of({4, 4}, {0, 0}));
+    EXPECT_EQ(apply_schedule_mutation(ir, mutation), "")
+        << to_string(mutation);
+  }
+}
+
+TEST(ScheduleIrTest, DescribeRendersEvents) {
+  const ScheduleIR ir = ir_of(spec_of({4, 4, 4}, {1, 1, 0}));
+  for (int r = 0; r < ir.num_ranks; ++r) {
+    const RankProgram& rank = ir.ranks[static_cast<std::size_t>(r)];
+    for (std::size_t i = 0; i < rank.events.size(); ++i) {
+      EXPECT_FALSE(ir.describe(r, i).empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cubist

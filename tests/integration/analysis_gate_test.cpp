@@ -20,6 +20,8 @@ ParallelOptions gated_options() {
   ParallelOptions options;
   options.verify_schedule = true;
   options.audit_volume = true;
+  options.model_check = true;
+  options.audit_hb = true;
   return options;
 }
 
@@ -65,6 +67,47 @@ TEST(AnalysisGateTest, AuditHoldsForUnevenExtents) {
                                     provider_of(spec),
                                     /*collect_result=*/false,
                                     gated_options()));
+}
+
+TEST(AnalysisGateTest, ModelCheckGateCertifiesSmallGrids) {
+  // Within the exhaustive regime (<= kModelCheckMaxRanks) the driver's
+  // pre-flight model check explores every interleaving; the same check is
+  // directly accessible for tooling, with real DPOR pruning.
+  ScheduleSpec sched;
+  sched.sizes = {8, 8, 4};
+  sched.log_splits = {1, 1, 0};
+  const InterleavingReport interleavings =
+      check_interleavings(build_comm_plan(sched).ir());
+  EXPECT_TRUE(interleavings.ok()) << interleavings.to_string();
+  EXPECT_TRUE(interleavings.stats.exhausted);
+  EXPECT_GT(interleavings.stats.transitions_pruned, 0);
+
+  SparseSpec spec;
+  spec.sizes = sched.sizes;
+  spec.density = 0.3;
+  spec.seed = 5;
+  EXPECT_NO_THROW(run_parallel_cube(spec.sizes, sched.log_splits, CostModel{},
+                                    provider_of(spec),
+                                    /*collect_result=*/false,
+                                    gated_options()));
+}
+
+TEST(AnalysisGateTest, HbAuditGateAcceptsGatheredRuns) {
+  // audit_hb records the full run — construction, barrier, result gather —
+  // and the offline happens-before rebuild must accept all of it.
+  SparseSpec spec;
+  spec.sizes = {8, 6, 4};
+  spec.density = 0.4;
+  spec.seed = 13;
+  ParallelOptions options = gated_options();
+  options.reduce_message_elements = 7;
+  const auto report =
+      run_parallel_cube(spec.sizes, {1, 1, 0}, CostModel{}, provider_of(spec),
+                        /*collect_result=*/true, options);
+  EXPECT_GT(report.run.trace.total_events(), 0);
+  const HbAuditReport hb = audit_event_trace(report.run.trace);
+  EXPECT_TRUE(hb.ok()) << hb.to_string();
+  EXPECT_GT(hb.message_edges, 0);
 }
 
 TEST(AnalysisGateTest, StandaloneVerifierCertifiesDriverSchedule) {

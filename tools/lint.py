@@ -20,9 +20,17 @@ deliberately looser):
   4. Every CUBIST_CHECK / CUBIST_ASSERT / CUBIST_DCHECK carries a message
      operand (a bare condition gives useless diagnostics).
   5. No file-scope `using namespace` in src/.
+  6. No direct Mailbox traffic (`.receive(` / `.receive_any(` /
+     `.deliver(` / `.mailbox(`) outside src/minimpi/comm.cpp.  Comm's
+     primitives are the single choke point that stamps virtual-clock
+     arrival times and records the event trace the happens-before
+     auditor replays; a bypass would make runs unauditable.
 
-Usage:  python3 tools/lint.py  [--root REPO_ROOT]
-Exit status 0 = clean, 1 = violations (printed one per line).
+Usage:  python3 tools/lint.py  [--root REPO_ROOT]  [FILE ...]
+With FILE arguments only those files are linted; naming a file that is
+unreadable or not a .h/.cpp source is itself an error (exit 2).
+Exit status 0 = clean, 1 = violations (printed one per line), 2 = bad
+invocation.
 """
 
 import argparse
@@ -34,6 +42,9 @@ NAKED_THROW_ALLOWED_FILES = {"src/common/error.cpp"}
 ALLOWED_THROW = re.compile(r"throw\s+AbortedError\s*\(\s*\)")
 THROW = re.compile(r"(?<![\w_])throw(?![\w_])")
 MACRO_CALL = re.compile(r"CUBIST_(?:CHECK|ASSERT|DCHECK)\s*\(")
+MAILBOX_ALLOWED_FILES = {"src/minimpi/comm.cpp"}
+MAILBOX_CALL = re.compile(
+    r"(?:\.|->)\s*(?:receive(?:_any)?|deliver|mailbox)\s*\(")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -131,6 +142,14 @@ def lint_file(path: pathlib.Path, rel: str, problems: list) -> None:
             f"{rel}:{line_of(code, match.start())}: file-scope "
             "`using namespace` in library code")
 
+    if rel not in MAILBOX_ALLOWED_FILES:
+        for match in MAILBOX_CALL.finditer(code):
+            problems.append(
+                f"{rel}:{line_of(code, match.start())}: direct Mailbox "
+                "traffic outside src/minimpi/comm.cpp — go through Comm's "
+                "primitives so arrival clocks and the event trace stay "
+                "complete")
+
     check_macro_messages(rel, code, problems)
 
 
@@ -138,6 +157,8 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=None,
                         help="repo root (default: parent of this script)")
+    parser.add_argument("files", nargs="*",
+                        help="lint only these files (default: all of src/)")
     args = parser.parse_args()
     root = (pathlib.Path(args.root).resolve() if args.root
             else pathlib.Path(__file__).resolve().parent.parent)
@@ -147,13 +168,29 @@ def main() -> int:
         return 2
 
     problems = []
-    files = sorted((root / "src").rglob("*"))
     count = 0
-    for path in files:
-        if path.suffix not in (".h", ".cpp"):
-            continue
-        count += 1
-        lint_file(path, path.relative_to(root).as_posix(), problems)
+    if args.files:
+        for name in args.files:
+            path = pathlib.Path(name)
+            if path.suffix not in (".h", ".cpp"):
+                print(f"lint: {name}: not a .h/.cpp source file",
+                      file=sys.stderr)
+                return 2
+            try:
+                resolved = path.resolve()
+                rel = (resolved.relative_to(root).as_posix()
+                       if resolved.is_relative_to(root) else path.as_posix())
+                count += 1
+                lint_file(path, rel, problems)
+            except OSError as error:
+                print(f"lint: {name}: {error}", file=sys.stderr)
+                return 2
+    else:
+        for path in sorted((root / "src").rglob("*")):
+            if path.suffix not in (".h", ".cpp"):
+                continue
+            count += 1
+            lint_file(path, path.relative_to(root).as_posix(), problems)
 
     for problem in problems:
         print(problem)
