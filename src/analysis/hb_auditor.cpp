@@ -308,7 +308,9 @@ class Auditor {
         const Clock& consumed_clock =
             send_clock_[static_cast<std::size_t>(consumed.rank)]
                        [consumed.index];
-        for (const TraceRef& other : sends_by_stream[{r, e.tag}]) {
+        const auto stream = sends_by_stream.find({r, e.tag});
+        if (stream == sends_by_stream.end()) continue;
+        for (const TraceRef& other : stream->second) {
           if (other == consumed) continue;
           ++report_.races_checked;
           const Clock& other_clock =

@@ -329,15 +329,18 @@ class Explorer {
         stop_ = true;
         break;
       }
+      // Independence must be judged at the *current* state, before apply()
+      // advances t.rank's program counter — afterwards next_event(t.rank)
+      // names the event after t (or walks off the end of a finished rank).
+      std::vector<Transition> child_sleep;
+      for (const Transition& q : sleep) {
+        if (independent(q, t)) child_sleep.push_back(q);
+      }
+      for (const Transition& q : explored) {
+        if (independent(q, t)) child_sleep.push_back(q);
+      }
       const bool clean = apply(t);
       if (clean) {
-        std::vector<Transition> child_sleep;
-        for (const Transition& q : sleep) {
-          if (independent(q, t)) child_sleep.push_back(q);
-        }
-        for (const Transition& q : explored) {
-          if (independent(q, t)) child_sleep.push_back(q);
-        }
         explore(child_sleep);
       }
       undo(t);

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <mutex>
+#include <optional>
 
+#include "analysis/comm_plan.h"
 #include "analysis/hb_auditor.h"
 #include "analysis/interleaving_checker.h"
 #include "analysis/schedule_verifier.h"
@@ -67,13 +69,18 @@ ParallelCubeReport run_parallel_cube(const std::vector<std::int64_t>& sizes,
   schedule_spec.sizes = sizes;
   schedule_spec.log_splits = log_splits;
   schedule_spec.reduce_message_elements = options.reduce_message_elements;
+  const bool model_check = options.model_check && p <= kModelCheckMaxRanks;
+  std::optional<CommPlan> plan;
+  if (options.verify_schedule || model_check) {
+    plan.emplace(build_comm_plan(schedule_spec));
+  }
   if (options.verify_schedule) {
-    const AnalysisReport preflight = verify_schedule(schedule_spec);
+    const AnalysisReport preflight = verify_schedule(schedule_spec, *plan);
     CUBIST_ASSERT(preflight.ok(), "pre-flight schedule verification failed:\n"
                                       << preflight.to_string());
   }
-  if (options.model_check && p <= kModelCheckMaxRanks) {
-    const ScheduleIR ir = build_comm_plan(schedule_spec).ir();
+  if (model_check) {
+    const ScheduleIR ir = plan->ir();
     if (ir.total_events() <= kModelCheckMaxEvents) {
       const InterleavingReport interleavings = check_interleavings(ir);
       CUBIST_ASSERT(interleavings.ok(),
