@@ -1,0 +1,210 @@
+// Serving-engine load generator: drives QueryEngine with uniform and
+// Zipfian-skewed query streams across client concurrency, batch size and
+// cache on/off, in the spirit of nexuslb's LoadTest driver. Latency
+// percentiles come from the engine's bounded-memory quantile sketches
+// (never from means), and every case asserts the sketch respected its
+// static memory bound. `tools/bench_report.py --serving` normalizes the
+// counters into the committed BENCH_serving.json; CI smoke runs only the
+// small shape.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace cubist::bench {
+namespace {
+
+using serving::Query;
+using serving::QueryEngine;
+using serving::QueryEngineOptions;
+using serving::QueryKind;
+using serving::ServingStats;
+using serving::WorkloadGenerator;
+using serving::WorkloadSpec;
+
+constexpr std::uint64_t kSeed = 20030417;
+
+struct ShapeConfig {
+  std::string name;
+  std::vector<std::int64_t> sizes;
+  double density;
+  int queries;       // stream length per case
+  int max_universe;  // distinct descriptors to sample from
+};
+
+const ShapeConfig& fig_shape() {
+  static const ShapeConfig shape{"fig", {32, 32, 16, 16}, 0.25, 12000, 768};
+  return shape;
+}
+
+const ShapeConfig& smoke_shape() {
+  static const ShapeConfig shape{"smoke", {8, 8, 8}, 0.25, 1500, 256};
+  return shape;
+}
+
+/// The cube under service, built once per shape and shared by every
+/// case (the engine snapshots it immutably, so sharing is safe).
+std::shared_ptr<const CubeResult> cube_for(const ShapeConfig& shape) {
+  static std::map<std::string, std::shared_ptr<const CubeResult>> cache;
+  auto it = cache.find(shape.name);
+  if (it == cache.end()) {
+    const SparseArray& input = DatasetCache::instance().global(
+        shape.sizes, shape.density, kSeed);
+    it = cache
+             .emplace(shape.name, std::make_shared<const CubeResult>(
+                                      build_cube_sequential(input)))
+             .first;
+  }
+  return it->second;
+}
+
+FigureTable& serving_table() {
+  static FigureTable table(
+      "Serving engine: latency under load (quantile-sketch percentiles)",
+      {"shape", "skew", "clients", "batch", "cache", "hit%", "p50_us",
+       "p99_us", "p999_us", "qps"});
+  return table;
+}
+
+void BM_Serving(benchmark::State& state, const ShapeConfig& shape,
+                int clients, int batch_size, bool zipfian, bool cache_on) {
+  auto cube = cube_for(shape);
+
+  WorkloadSpec spec;
+  spec.skew =
+      zipfian ? WorkloadSpec::Skew::kZipfian : WorkloadSpec::Skew::kUniform;
+  spec.zipf_exponent = 1.25;
+  // Same seed for cache on/off: both sweeps replay the same stream, so
+  // the cache is the only variable.
+  spec.seed = kSeed + static_cast<std::uint64_t>(clients);
+  spec.max_universe = shape.max_universe;
+
+  ServingStats stats;
+  double elapsed = 0.0;
+  for (auto _ : state) {
+    WorkloadGenerator workload(*cube, spec);
+    ThreadPool pool(clients);
+    QueryEngineOptions options;
+    options.pool = &pool;
+    options.max_workers = clients;
+    // ~1/4 of the descriptor universe's working set: Zipfian's hot head
+    // stays resident, a uniform stream churns. (The fig working set is
+    // ~2 MB; a budget that swallows it would hide the skew axis.)
+    options.cache_budget_bytes = cache_on ? (std::int64_t{512} << 10) : 0;
+    options.sketch_max_count = shape.queries + batch_size;
+    QueryEngine engine(cube, options);
+
+    const Timer timer;
+    int served = 0;
+    while (served < shape.queries) {
+      const int n = std::min(batch_size, shape.queries - served);
+      engine.execute_batch(workload.batch(n));
+      served += n;
+    }
+    elapsed = timer.elapsed_seconds();
+    state.SetIterationTime(elapsed);
+    stats = engine.stats();
+  }
+
+  CUBIST_ASSERT(stats.sketch_memory_bytes <= stats.sketch_memory_bound_bytes,
+                "latency sketch exceeded its static memory bound");
+  CUBIST_ASSERT(stats.queries >= shape.queries,
+                "engine served fewer queries than generated");
+
+  const double hit_pct = stats.cache.hit_rate() * 100.0;
+  const double qps =
+      elapsed > 0 ? static_cast<double>(stats.queries) / elapsed : 0.0;
+  serving_table().add(
+      {shape.name, zipfian ? "zipf" : "uniform", std::to_string(clients),
+       std::to_string(batch_size), cache_on ? "on" : "off",
+       TextTable::fixed(hit_pct, 1), TextTable::fixed(stats.overall.p50_us, 1),
+       TextTable::fixed(stats.overall.p99_us, 1),
+       TextTable::fixed(stats.overall.p999_us, 1), TextTable::fixed(qps, 0)});
+
+  state.counters["clients"] = clients;
+  state.counters["batch"] = batch_size;
+  state.counters["zipf"] = zipfian ? 1.0 : 0.0;
+  state.counters["cache"] = cache_on ? 1.0 : 0.0;
+  state.counters["served"] = static_cast<double>(stats.queries);
+  state.counters["qps"] = qps;
+  state.counters["hit_pct"] = hit_pct;
+  state.counters["cache_bytes_peak"] =
+      static_cast<double>(stats.cache.peak_bytes);
+  state.counters["p50_us"] = stats.overall.p50_us;
+  state.counters["p99_us"] = stats.overall.p99_us;
+  state.counters["p999_us"] = stats.overall.p999_us;
+  state.counters["sketch_KB"] =
+      static_cast<double>(stats.sketch_memory_bytes) / 1024.0;
+  state.counters["sketch_bound_KB"] =
+      static_cast<double>(stats.sketch_memory_bound_bytes) / 1024.0;
+  for (int i = 0; i < serving::kNumQueryKinds; ++i) {
+    const auto& lat = stats.latency[static_cast<std::size_t>(i)];
+    if (lat.count == 0) continue;
+    const std::string kind = serving::query_kind_name(
+        static_cast<QueryKind>(i));
+    state.counters["n_" + kind] = static_cast<double>(lat.count);
+    state.counters["p50_" + kind + "_us"] = lat.p50_us;
+    state.counters["p99_" + kind + "_us"] = lat.p99_us;
+    state.counters["p999_" + kind + "_us"] = lat.p999_us;
+  }
+}
+
+void register_case(const ShapeConfig& shape, int clients, int batch_size,
+                   bool zipfian, bool cache_on) {
+  const std::string name = "BM_Serving/" + shape.name + "/c" +
+                           std::to_string(clients) + "/b" +
+                           std::to_string(batch_size) +
+                           (zipfian ? "/zipf" : "/uniform") +
+                           (cache_on ? "/cache" : "/nocache");
+  ::benchmark::RegisterBenchmark(
+      name.c_str(),
+      [&shape, clients, batch_size, zipfian, cache_on](
+          benchmark::State& state) {
+        BM_Serving(state, shape, clients, batch_size, zipfian, cache_on);
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+void register_benchmarks() {
+  // Concurrency x skew x cache at the default batch.
+  for (int clients : {1, 2, 8}) {
+    for (bool zipfian : {false, true}) {
+      for (bool cache_on : {false, true}) {
+        register_case(fig_shape(), clients, 256, zipfian, cache_on);
+      }
+    }
+  }
+  // Batch-size sweep at the loaded corner.
+  for (int batch_size : {32, 1024}) {
+    register_case(fig_shape(), 8, batch_size, /*zipfian=*/true,
+                  /*cache_on=*/true);
+  }
+  // CI smoke: tiny shape, Zipfian only, both cache settings.
+  for (int clients : {1, 8}) {
+    for (bool cache_on : {false, true}) {
+      register_case(smoke_shape(), clients, 64, /*zipfian=*/true, cache_on);
+    }
+  }
+}
+
+void print_tables() { serving_table().print(); }
+
+}  // namespace
+}  // namespace cubist::bench
+
+int main(int argc, char** argv) {
+  cubist::bench::register_benchmarks();
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  cubist::bench::print_tables();
+  return 0;
+}

@@ -1,0 +1,179 @@
+#include "common/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace cubist {
+
+QuantileSketch::QuantileSketch(double epsilon, std::int64_t max_count)
+    : epsilon_(epsilon), max_count_(max_count) {
+  CUBIST_CHECK(epsilon > 0.0 && epsilon < 0.5,
+               "epsilon must be in (0, 0.5), got " << epsilon);
+  CUBIST_CHECK(max_count >= 1, "max_count must be positive");
+  // MRL "NEW" sizing: b buffers of k elements cover k * 2^(b-1)
+  // observations with rank error about (b-2)/k. Pick the b minimizing
+  // total payload b*k subject to both constraints.
+  std::int64_t best_payload = std::numeric_limits<std::int64_t>::max();
+  for (int b = 3; b <= 40; ++b) {
+    const auto err_k = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(b - 2) / epsilon));
+    std::int64_t k = std::max<std::int64_t>(err_k, 8);
+    // Coverage: k * 2^(b-1) >= max_count (capped to avoid overflow).
+    if (b - 1 < 62) {
+      const std::int64_t spread = std::int64_t{1} << (b - 1);
+      const std::int64_t cover_k = (max_count + spread - 1) / spread;
+      k = std::max(k, cover_k);
+    }
+    const std::int64_t payload = static_cast<std::int64_t>(b) * k;
+    if (payload < best_payload) {
+      best_payload = payload;
+      b_ = b;
+      k_ = static_cast<int>(k);
+    }
+  }
+  CUBIST_ASSERT(b_ >= 3 && k_ >= 1, "sketch sizing failed");
+  buffers_.reserve(static_cast<std::size_t>(b_));
+}
+
+std::int64_t QuantileSketch::memory_bound_bytes() const {
+  return static_cast<std::int64_t>(b_) * k_ *
+         static_cast<std::int64_t>(sizeof(double));
+}
+
+std::int64_t QuantileSketch::memory_bytes() const {
+  std::int64_t elements = 0;
+  for (const Buffer& buffer : buffers_) {
+    elements += static_cast<std::int64_t>(buffer.values.size());
+  }
+  return elements * static_cast<std::int64_t>(sizeof(double));
+}
+
+void QuantileSketch::add(double value) {
+  if (current_ < 0) {
+    if (static_cast<int>(buffers_.size()) == b_) {
+      collapse_two();
+    }
+    Buffer fresh;
+    fresh.values.reserve(static_cast<std::size_t>(k_));
+    // Reuse the slot collapse_two() freed, if any.
+    int slot = -1;
+    for (int i = 0; i < static_cast<int>(buffers_.size()); ++i) {
+      if (buffers_[static_cast<std::size_t>(i)].values.empty() &&
+          !buffers_[static_cast<std::size_t>(i)].full) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot < 0) {
+      buffers_.push_back(std::move(fresh));
+      slot = static_cast<int>(buffers_.size()) - 1;
+    } else {
+      buffers_[static_cast<std::size_t>(slot)] = std::move(fresh);
+    }
+    current_ = slot;
+  }
+  Buffer& buffer = buffers_[static_cast<std::size_t>(current_)];
+  buffer.values.push_back(value);
+  ++count_;
+  if (static_cast<int>(buffer.values.size()) == k_) {
+    std::sort(buffer.values.begin(), buffer.values.end());
+    buffer.full = true;
+    current_ = -1;
+  }
+}
+
+void QuantileSketch::collapse_two() {
+  // The two lowest-weight full buffers (ties: lowest index, so the
+  // choice is deterministic).
+  int a = -1;
+  int b = -1;
+  for (int i = 0; i < static_cast<int>(buffers_.size()); ++i) {
+    const Buffer& buffer = buffers_[static_cast<std::size_t>(i)];
+    if (!buffer.full) continue;
+    if (a < 0 || buffer.weight < buffers_[static_cast<std::size_t>(a)].weight) {
+      b = a;
+      a = i;
+    } else if (b < 0 ||
+               buffer.weight < buffers_[static_cast<std::size_t>(b)].weight) {
+      b = i;
+    }
+  }
+  CUBIST_ASSERT(a >= 0 && b >= 0, "collapse needs two full buffers");
+  if (a > b) std::swap(a, b);
+  Buffer& lhs = buffers_[static_cast<std::size_t>(a)];
+  Buffer& rhs = buffers_[static_cast<std::size_t>(b)];
+
+  const std::int64_t w = lhs.weight + rhs.weight;
+  // Output rank targets (1-based, within total mass w*k): offset + j*w.
+  // For even w the offset alternates between w/2 and w/2 + 1 across
+  // collapses — the deterministic replacement for MRL's coin flip.
+  std::int64_t offset;
+  if (w % 2 == 1) {
+    offset = (w + 1) / 2;
+  } else {
+    offset = (collapse_parity_++ % 2 == 0) ? w / 2 : w / 2 + 1;
+  }
+
+  std::vector<double> merged;
+  merged.reserve(static_cast<std::size_t>(k_));
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::int64_t cumulative = 0;
+  std::int64_t next_target = offset;
+  while (i < lhs.values.size() || j < rhs.values.size()) {
+    double value;
+    std::int64_t weight;
+    if (j >= rhs.values.size() ||
+        (i < lhs.values.size() && lhs.values[i] <= rhs.values[j])) {
+      value = lhs.values[i++];
+      weight = lhs.weight;
+    } else {
+      value = rhs.values[j++];
+      weight = rhs.weight;
+    }
+    cumulative += weight;
+    while (next_target <= cumulative &&
+           static_cast<int>(merged.size()) < k_) {
+      merged.push_back(value);
+      next_target += w;
+    }
+  }
+  CUBIST_ASSERT(static_cast<int>(merged.size()) == k_,
+                "collapse must emit exactly k elements");
+
+  lhs.weight = w;
+  lhs.values = std::move(merged);
+  rhs.weight = 1;
+  rhs.full = false;
+  rhs.values.clear();
+}
+
+double QuantileSketch::quantile(double q) const {
+  CUBIST_CHECK(count_ > 0, "quantile of an empty sketch");
+  CUBIST_CHECK(q >= 0.0 && q <= 1.0, "quantile fraction must be in [0, 1]");
+  // Gather every (value, weight) pair; the in-progress buffer counts at
+  // weight 1 per element.
+  std::vector<std::pair<double, std::int64_t>> weighted;
+  weighted.reserve(static_cast<std::size_t>(b_) *
+                   static_cast<std::size_t>(k_));
+  for (const Buffer& buffer : buffers_) {
+    for (double value : buffer.values) {
+      weighted.emplace_back(value, buffer.full ? buffer.weight : 1);
+    }
+  }
+  std::sort(weighted.begin(), weighted.end());
+  const auto target = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::int64_t cumulative = 0;
+  for (const auto& [value, weight] : weighted) {
+    cumulative += weight;
+    if (cumulative >= target) return value;
+  }
+  return weighted.back().first;
+}
+
+}  // namespace cubist

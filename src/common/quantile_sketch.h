@@ -1,0 +1,81 @@
+// Bounded-memory approximate quantiles (Manku–Rajagopalan–Lindsay style).
+//
+// Serving telemetry needs real percentiles: a mean latency averages cache
+// hits with full scans and lands on a number almost no query experienced
+// (the DataSeries analysis-techniques lesson). Exact quantiles would buffer
+// every observation; this sketch keeps `b` buffers of `k` sorted elements
+// and collapses pairs when full, so memory is O(b·k) regardless of how many
+// observations stream through.
+//
+// Guarantee: for up to `max_count` observations, `quantile(q)` returns an
+// element whose rank is within `epsilon * count()` of ceil(q * count()).
+// The constructor picks the smallest (b, k) with k·2^(b-1) >= max_count and
+// k >= (b-2)/epsilon, the MRL "NEW" sizing. Collapses are deterministic
+// (offset alternation, no randomness), so identical input streams produce
+// identical sketches on every platform.
+//
+// Not internally synchronized: one writer at a time (the serving engine
+// wraps per-class sketches in its telemetry mutex — see docs/SERVING.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cubist {
+
+class QuantileSketch {
+ public:
+  /// `epsilon` in (0, 0.5): maximum rank error as a fraction of count().
+  /// `max_count`: the largest observation count the error bound must
+  /// survive (exceeding it keeps working, but the bound degrades —
+  /// `overflowed()` reports this).
+  QuantileSketch(double epsilon, std::int64_t max_count);
+
+  /// Records one observation. Amortized O(log(b·k)); worst case one
+  /// buffer collapse (O(k) merge).
+  void add(double value);
+
+  /// The approximate q-quantile (q in [0, 1]) of everything added so far.
+  /// Precondition: count() > 0.
+  double quantile(double q) const;
+
+  std::int64_t count() const { return count_; }
+  bool overflowed() const { return count_ > max_count_; }
+
+  double epsilon() const { return epsilon_; }
+  std::int64_t max_count() const { return max_count_; }
+  int num_buffers() const { return b_; }
+  int buffer_capacity() const { return k_; }
+
+  /// Static payload bound from (epsilon, max_count): b·k elements. The
+  /// sketch never stores more than this many values.
+  std::int64_t memory_bound_bytes() const;
+
+  /// Current payload footprint (stored values); always <= the bound.
+  std::int64_t memory_bytes() const;
+
+ private:
+  // A sorted run of k elements, each representing `weight` original
+  // observations. The in-progress buffer has weight 1 and is unsorted
+  // until it fills.
+  struct Buffer {
+    std::int64_t weight = 1;
+    bool full = false;
+    std::vector<double> values;
+  };
+
+  // Merges the two lowest-weight full buffers into one (weighted
+  // every-W-th selection with alternating offset), freeing a slot.
+  void collapse_two();
+
+  double epsilon_;
+  std::int64_t max_count_;
+  int b_ = 0;  // buffer slots
+  int k_ = 0;  // elements per buffer
+  std::int64_t count_ = 0;
+  std::uint64_t collapse_parity_ = 0;  // deterministic offset alternation
+  std::vector<Buffer> buffers_;
+  int current_ = -1;  // index of the in-progress buffer, -1 if none
+};
+
+}  // namespace cubist

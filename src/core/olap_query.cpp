@@ -60,9 +60,18 @@ DenseArray rollup(const DenseArray& view, int dim,
                    view.shape().extent(dim),
                "mapping must cover the dimension");
   CUBIST_CHECK(coarse_extent >= 1, "coarse extent must be positive");
+  std::vector<bool> covered(static_cast<std::size_t>(coarse_extent), false);
   for (std::int64_t target : mapping) {
     CUBIST_CHECK(target >= 0 && target < coarse_extent,
                  "mapping target out of range");
+    covered[static_cast<std::size_t>(target)] = true;
+  }
+  // A coarse coordinate no fine coordinate maps to would silently stay
+  // zero — almost always a caller bug (wrong coarse_extent), so reject.
+  for (std::int64_t coarse = 0; coarse < coarse_extent; ++coarse) {
+    CUBIST_CHECK(covered[static_cast<std::size_t>(coarse)],
+                 "mapping must be surjective: no source maps to coarse "
+                 "coordinate " << coarse);
   }
   std::vector<std::int64_t> extents = view.shape().extents();
   extents[dim] = coarse_extent;
@@ -93,18 +102,31 @@ std::vector<std::pair<std::int64_t, Value>> top_k(const DenseArray& view,
   CUBIST_CHECK(k >= 0, "k must be non-negative");
   const auto count = static_cast<std::size_t>(
       std::min<std::int64_t>(k, view.size()));
-  std::vector<std::pair<std::int64_t, Value>> cells;
-  cells.reserve(static_cast<std::size_t>(view.size()));
+  if (count == 0) return {};
+  // Output order: descending value, ties by ascending index.
+  const auto output_before = [](const std::pair<std::int64_t, Value>& a,
+                                const std::pair<std::int64_t, Value>& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  // Bounded min-heap of the best `count` cells seen so far, O(n log k):
+  // heapified under `output_before` the front is the *worst* kept cell,
+  // the one a better candidate displaces.
+  std::vector<std::pair<std::int64_t, Value>> heap;
+  heap.reserve(count);
   for (std::int64_t i = 0; i < view.size(); ++i) {
-    cells.emplace_back(i, view[i]);
+    const std::pair<std::int64_t, Value> cell{i, view[i]};
+    if (heap.size() < count) {
+      heap.push_back(cell);
+      std::push_heap(heap.begin(), heap.end(), output_before);
+    } else if (output_before(cell, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), output_before);
+      heap.back() = cell;
+      std::push_heap(heap.begin(), heap.end(), output_before);
+    }
   }
-  std::partial_sort(cells.begin(), cells.begin() + static_cast<std::ptrdiff_t>(count),
-                    cells.end(), [](const auto& a, const auto& b) {
-                      if (a.second != b.second) return a.second > b.second;
-                      return a.first < b.first;
-                    });
-  cells.resize(count);
-  return cells;
+  std::sort(heap.begin(), heap.end(), output_before);
+  return heap;
 }
 
 }  // namespace cubist

@@ -27,7 +27,9 @@ DenseArray dice(const DenseArray& view,
 /// Coarsens dimension `dim` by a surjective coordinate mapping (e.g.
 /// weeks -> quarters): cell i of `dim` contributes to mapping[i] of the
 /// result, whose extent along `dim` is `coarse_extent`. Aggregation is
-/// SUM (roll-up of an additive measure).
+/// SUM (roll-up of an additive measure). The mapping must cover every
+/// coarse coordinate in [0, coarse_extent) — an unreachable output cell
+/// is almost always a mis-sized `coarse_extent` and is rejected.
 DenseArray rollup(const DenseArray& view, int dim,
                   const std::vector<std::int64_t>& mapping,
                   std::int64_t coarse_extent);
@@ -39,6 +41,8 @@ DenseArray rollup_uniform(const DenseArray& view, int dim,
 
 /// The k largest cells of a view, as (linear index, value), descending by
 /// value (ties by ascending index). k is clipped to the view size.
+/// Runs in O(n log k) via a bounded heap — it never copies or sorts the
+/// whole view.
 std::vector<std::pair<std::int64_t, Value>> top_k(const DenseArray& view,
                                                   int k);
 

@@ -41,6 +41,7 @@
 #include "baselines/tree_builder.h"  // prior-work spanning-tree baselines
 #include "common/dimset.h"         // lattice node = set of dimensions
 #include "common/mathutil.h"
+#include "common/quantile_sketch.h"  // bounded-memory percentiles
 #include "common/thread_pool.h"    // intra-rank parallel_for engine
 #include "common/rng.h"
 #include "common/table.h"
@@ -68,4 +69,8 @@
 #include "minimpi/cost_model.h"        // virtual-time constants
 #include "minimpi/proc_grid.h"         // processor grid + lead processors
 #include "minimpi/runtime.h"           // SPMD runtime
+#include "serving/query.h"             // canonical query descriptors
+#include "serving/query_engine.h"      // concurrent OLAP serving engine
+#include "serving/slice_cache.h"       // cost-weighted hot-slice cache
+#include "serving/workload.h"          // uniform/Zipfian load generation
 #include "tiling/tiled_builder.h"      // memory-budgeted tiling extension

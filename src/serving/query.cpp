@@ -1,0 +1,132 @@
+#include "serving/query.h"
+
+#include <utility>
+
+#include "common/error.h"
+
+namespace cubist::serving {
+
+const char* query_kind_name(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kPoint:
+      return "point";
+    case QueryKind::kSlice:
+      return "slice";
+    case QueryKind::kDice:
+      return "dice";
+    case QueryKind::kRollup:
+      return "rollup";
+    case QueryKind::kTopK:
+      return "topk";
+  }
+  CUBIST_ASSERT(false, "unknown QueryKind "
+                           << static_cast<int>(kind));
+}
+
+Query Query::point(DimSet view, std::vector<std::int64_t> coords) {
+  Query q;
+  q.kind = QueryKind::kPoint;
+  q.view = view;
+  q.coords = std::move(coords);
+  return q;
+}
+
+Query Query::slice(DimSet view, int dim, std::int64_t index) {
+  Query q;
+  q.kind = QueryKind::kSlice;
+  q.view = view;
+  q.dim = dim;
+  q.index = index;
+  return q;
+}
+
+Query Query::dice(DimSet view, std::vector<std::int64_t> lo,
+                  std::vector<std::int64_t> hi) {
+  Query q;
+  q.kind = QueryKind::kDice;
+  q.view = view;
+  q.lo = std::move(lo);
+  q.hi = std::move(hi);
+  return q;
+}
+
+Query Query::rollup(DimSet view, int dim, std::vector<std::int64_t> mapping,
+                    std::int64_t coarse_extent) {
+  Query q;
+  q.kind = QueryKind::kRollup;
+  q.view = view;
+  q.dim = dim;
+  q.mapping = std::move(mapping);
+  q.coarse_extent = coarse_extent;
+  return q;
+}
+
+Query Query::top_k(DimSet view, int k) {
+  Query q;
+  q.kind = QueryKind::kTopK;
+  q.view = view;
+  q.k = k;
+  return q;
+}
+
+namespace {
+
+void append_list(std::string& key, const std::vector<std::int64_t>& values) {
+  key += '[';
+  for (std::int64_t v : values) {
+    key += std::to_string(v);
+    key += ',';
+  }
+  key += ']';
+}
+
+}  // namespace
+
+std::string Query::cache_key() const {
+  std::string key;
+  key += query_kind_name(kind);
+  key += '/';
+  key += std::to_string(view.mask());
+  key += '/';
+  switch (kind) {
+    case QueryKind::kPoint:
+      append_list(key, coords);
+      break;
+    case QueryKind::kSlice:
+      key += std::to_string(dim);
+      key += '@';
+      key += std::to_string(index);
+      break;
+    case QueryKind::kDice:
+      append_list(key, lo);
+      append_list(key, hi);
+      break;
+    case QueryKind::kRollup:
+      key += std::to_string(dim);
+      key += '>';
+      key += std::to_string(coarse_extent);
+      append_list(key, mapping);
+      break;
+    case QueryKind::kTopK:
+      key += std::to_string(k);
+      break;
+  }
+  return key;
+}
+
+std::int64_t QueryResult::bytes() const {
+  switch (kind) {
+    case QueryKind::kPoint:
+      return static_cast<std::int64_t>(sizeof(Value));
+    case QueryKind::kSlice:
+    case QueryKind::kDice:
+    case QueryKind::kRollup:
+      return array.bytes();
+    case QueryKind::kTopK:
+      return static_cast<std::int64_t>(topk.size()) *
+             static_cast<std::int64_t>(sizeof(topk[0]));
+  }
+  CUBIST_ASSERT(false, "unknown QueryKind " << static_cast<int>(kind));
+}
+
+}  // namespace cubist::serving

@@ -1,0 +1,87 @@
+// Canonical query descriptors and results for the serving engine.
+//
+// A Query names one OLAP request against a materialized cube: which view
+// it reads and which slice/dice/rollup/top-k/point operation it applies.
+// Two queries that would compute the same answer have the same
+// `cache_key()`, which is what the hot-slice cache is keyed by — the
+// descriptor, not the result, is the identity (docs/SERVING.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "array/dense_array.h"
+#include "common/dimset.h"
+
+namespace cubist::serving {
+
+enum class QueryKind : std::uint8_t {
+  kPoint = 0,   // one cell of a view
+  kSlice = 1,   // fix a dimension, drop it
+  kDice = 2,    // clip every dimension to [lo, hi)
+  kRollup = 3,  // coarsen one dimension by a surjective mapping
+  kTopK = 4,    // k largest cells
+};
+
+inline constexpr int kNumQueryKinds = 5;
+
+/// Stable lower-case name ("point", "slice", ...); the latency-telemetry
+/// class label.
+const char* query_kind_name(QueryKind kind);
+
+/// One serving request. Construct through the factories so only the
+/// fields the kind uses are populated (the rest stay empty and the
+/// cache key remains canonical).
+struct Query {
+  QueryKind kind = QueryKind::kPoint;
+  DimSet view;  // the materialized view the query reads
+
+  // kPoint: one coordinate per retained dimension of `view`.
+  std::vector<std::int64_t> coords;
+  // kSlice / kRollup: dimension *position* within the view's array
+  // (0-based over the view's retained dims, ascending dim order).
+  int dim = 0;
+  // kSlice: index fixed along `dim`.
+  std::int64_t index = 0;
+  // kDice: per-dimension [lo, hi) ranges.
+  std::vector<std::int64_t> lo;
+  std::vector<std::int64_t> hi;
+  // kRollup: fine -> coarse coordinate mapping along `dim`.
+  std::vector<std::int64_t> mapping;
+  std::int64_t coarse_extent = 0;
+  // kTopK: result count.
+  int k = 0;
+
+  static Query point(DimSet view, std::vector<std::int64_t> coords);
+  static Query slice(DimSet view, int dim, std::int64_t index);
+  static Query dice(DimSet view, std::vector<std::int64_t> lo,
+                    std::vector<std::int64_t> hi);
+  static Query rollup(DimSet view, int dim, std::vector<std::int64_t> mapping,
+                      std::int64_t coarse_extent);
+  static Query top_k(DimSet view, int k);
+
+  /// Canonical descriptor string: equal keys <=> same answer. Compact
+  /// (kind, view mask, then only the operand fields the kind reads).
+  std::string cache_key() const;
+
+  bool operator==(const Query&) const = default;
+};
+
+/// The answer to a Query. Exactly one payload member is populated,
+/// selected by `kind`; equality is bitwise over that payload, which is
+/// what the serving determinism matrix asserts on.
+struct QueryResult {
+  QueryKind kind = QueryKind::kPoint;
+  Value scalar = 0;                                     // kPoint
+  DenseArray array;                                     // kSlice/kDice/kRollup
+  std::vector<std::pair<std::int64_t, Value>> topk;     // kTopK
+
+  /// Heap footprint of the payload — what the cache budget charges.
+  std::int64_t bytes() const;
+
+  bool operator==(const QueryResult&) const = default;
+};
+
+}  // namespace cubist::serving

@@ -1,0 +1,152 @@
+#include "serving/query_engine.h"
+
+#include <utility>
+
+#include "common/error.h"
+#include "common/timer.h"
+#include "core/olap_query.h"
+
+namespace cubist::serving {
+
+QueryEngine::QueryEngine(std::shared_ptr<const CubeResult> snapshot,
+                         QueryEngineOptions options)
+    : snapshot_(std::move(snapshot)), options_(options) {
+  CUBIST_CHECK(snapshot_ != nullptr, "engine needs a cube snapshot");
+  CUBIST_CHECK(options_.cache_budget_bytes >= 0,
+               "cache budget must be non-negative");
+  CUBIST_CHECK(options_.max_workers >= 0,
+               "max_workers must be non-negative");
+  if (options_.pool == nullptr) options_.pool = &ThreadPool::global();
+  if (options_.cache_budget_bytes > 0) {
+    cache_ = std::make_unique<SliceCache>(options_.cache_budget_bytes);
+  }
+  // One sketch per class plus the overall sketch at the end.
+  sketches_.reserve(kNumQueryKinds + 1);
+  for (int i = 0; i <= kNumQueryKinds; ++i) {
+    sketches_.emplace_back(options_.sketch_epsilon,
+                           options_.sketch_max_count);
+  }
+}
+
+QueryResult QueryEngine::compute(const Query& query) const {
+  QueryResult result;
+  result.kind = query.kind;
+  switch (query.kind) {
+    case QueryKind::kPoint:
+      result.scalar = snapshot_->query(query.view, query.coords);
+      break;
+    case QueryKind::kSlice:
+      result.array =
+          cubist::slice(snapshot_->view(query.view), query.dim, query.index);
+      break;
+    case QueryKind::kDice:
+      result.array =
+          cubist::dice(snapshot_->view(query.view), query.lo, query.hi);
+      break;
+    case QueryKind::kRollup:
+      result.array = cubist::rollup(snapshot_->view(query.view), query.dim,
+                                    query.mapping, query.coarse_extent);
+      break;
+    case QueryKind::kTopK:
+      result.topk = cubist::top_k(snapshot_->view(query.view), query.k);
+      break;
+  }
+  return result;
+}
+
+double QueryEngine::scan_cost(const Query& query) const {
+  const DenseArray& view = snapshot_->view(query.view);
+  switch (query.kind) {
+    case QueryKind::kPoint:
+      return 1.0;
+    case QueryKind::kSlice: {
+      const std::int64_t extent = view.shape().extent(query.dim);
+      return extent > 0 ? static_cast<double>(view.size() / extent) : 1.0;
+    }
+    case QueryKind::kDice: {
+      double cells = 1.0;
+      for (std::size_t d = 0; d < query.lo.size(); ++d) {
+        cells *= static_cast<double>(query.hi[d] - query.lo[d]);
+      }
+      return cells;
+    }
+    case QueryKind::kRollup:
+    case QueryKind::kTopK:
+      return static_cast<double>(view.size());
+  }
+  CUBIST_ASSERT(false, "unknown QueryKind "
+                           << static_cast<int>(query.kind));
+}
+
+std::shared_ptr<const QueryResult> QueryEngine::execute(const Query& query) {
+  const Timer timer;
+  queries_.fetch_add(1, std::memory_order_relaxed);
+  // Point queries bypass the cache: one array load is cheaper than one
+  // cache probe, and memoizing 8-byte scalars only churns the index.
+  const bool cacheable = cache_ != nullptr && query.kind != QueryKind::kPoint;
+  std::string key;
+  if (cacheable) {
+    key = query.cache_key();
+    if (std::shared_ptr<const QueryResult> hit = cache_->get(key)) {
+      record_latency(query.kind, timer.elapsed_seconds() * 1e6);
+      return hit;
+    }
+  }
+  auto result = std::make_shared<const QueryResult>(compute(query));
+  if (cacheable) {
+    cache_->put(key, result, scan_cost(query));
+  }
+  record_latency(query.kind, timer.elapsed_seconds() * 1e6);
+  return result;
+}
+
+std::vector<std::shared_ptr<const QueryResult>> QueryEngine::execute_batch(
+    const std::vector<Query>& batch) {
+  std::vector<std::shared_ptr<const QueryResult>> results(batch.size());
+  if (batch.empty()) return results;
+  // One chunk per query: each chunk writes only its own result slots, so
+  // the batch is race-free by construction; the pool caps concurrency at
+  // max_workers ("clients") and rethrows the first failure after the
+  // batch drains.
+  options_.pool->parallel_for(
+      0, static_cast<std::int64_t>(batch.size()), /*grain=*/1,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          results[static_cast<std::size_t>(i)] =
+              execute(batch[static_cast<std::size_t>(i)]);
+        }
+      },
+      options_.max_workers);
+  return results;
+}
+
+void QueryEngine::record_latency(QueryKind kind, double micros) {
+  std::lock_guard<std::mutex> lock(telemetry_mutex_);
+  sketches_[static_cast<std::size_t>(kind)].add(micros);
+  sketches_[kNumQueryKinds].add(micros);
+}
+
+ServingStats QueryEngine::stats() const {
+  ServingStats stats;
+  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.cache_enabled = cache_ != nullptr;
+  if (cache_ != nullptr) stats.cache = cache_->stats();
+  std::lock_guard<std::mutex> lock(telemetry_mutex_);
+  for (int i = 0; i <= kNumQueryKinds; ++i) {
+    const QuantileSketch& sketch = sketches_[static_cast<std::size_t>(i)];
+    ClassLatency& lat = i < kNumQueryKinds
+                            ? stats.latency[static_cast<std::size_t>(i)]
+                            : stats.overall;
+    lat.count = sketch.count();
+    if (sketch.count() > 0) {
+      lat.p50_us = sketch.quantile(0.5);
+      lat.p99_us = sketch.quantile(0.99);
+      lat.p999_us = sketch.quantile(0.999);
+    }
+    stats.sketch_memory_bytes += sketch.memory_bytes();
+    stats.sketch_memory_bound_bytes += sketch.memory_bound_bytes();
+  }
+  return stats;
+}
+
+}  // namespace cubist::serving

@@ -1,0 +1,121 @@
+// QueryEngine: concurrent OLAP serving over an immutable cube snapshot.
+//
+// The engine layers three pieces over CubeResult + core/olap_query:
+//
+//  * Snapshot reads. The engine holds a shared_ptr<const CubeResult> and
+//    every query computes from that immutable snapshot — concurrent
+//    readers share nothing mutable on the cube read path and take no
+//    locks there. Refresh pipelines swap in a new snapshot by building a
+//    new engine; in-flight queries keep the old cube alive.
+//
+//  * Hot-slice caching. Computed slices/dices/roll-ups/top-ks are
+//    memoized in a cost-weighted, byte-budgeted SliceCache keyed by the
+//    canonical query descriptor. Point queries bypass the cache (a point
+//    read is one array load; memoizing it costs more than computing it).
+//    The cache is internally locked, but a hit or miss only touches the
+//    cache index, never the cube.
+//
+//  * Latency telemetry. Per-query-class (point/slice/dice/rollup/topk)
+//    latencies stream into bounded-memory QuantileSketches so
+//    ServingStats reports true p50/p99/p999 percentiles, not means.
+//
+// Batches run through the shared ThreadPool's chunked parallel_for (one
+// query per chunk), inheriting its exception propagation and per-rank
+// budget behavior; `max_workers` caps a batch's concurrency, modeling N
+// concurrent clients. Determinism contract: for a fixed snapshot, the
+// results of a batch are bit-identical for every pool size and with the
+// cache on or off (tests/serving/serving_determinism_test.cpp).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/quantile_sketch.h"
+#include "common/thread_pool.h"
+#include "core/cube_result.h"
+#include "serving/query.h"
+#include "serving/slice_cache.h"
+
+namespace cubist::serving {
+
+struct QueryEngineOptions {
+  /// Pool batches run on; nullptr = ThreadPool::global().
+  ThreadPool* pool = nullptr;
+  /// Concurrency cap per batch (the "number of clients"); 0 = the
+  /// pool's per-rank budget.
+  int max_workers = 0;
+  /// Byte budget for the hot-slice cache; 0 disables caching.
+  std::int64_t cache_budget_bytes = std::int64_t{64} << 20;
+  /// Rank-error bound of the latency sketches (fraction of count). The
+  /// default resolves p999 to ±0.2% of observations.
+  double sketch_epsilon = 0.002;
+  /// Observation count the sketch error bound must survive.
+  std::int64_t sketch_max_count = 2'000'000;
+};
+
+/// Latency percentiles for one query class, in microseconds.
+struct ClassLatency {
+  std::int64_t count = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+};
+
+struct ServingStats {
+  std::int64_t queries = 0;
+  SliceCacheStats cache;  // zero-valued when the cache is disabled
+  bool cache_enabled = false;
+  /// Indexed by QueryKind; name via query_kind_name().
+  std::array<ClassLatency, kNumQueryKinds> latency{};
+  /// Percentiles over every query regardless of class (its own sketch —
+  /// class sketches cannot be merged after the fact).
+  ClassLatency overall{};
+  /// Telemetry footprint: stored sketch bytes and the static bound the
+  /// sketches can never exceed.
+  std::int64_t sketch_memory_bytes = 0;
+  std::int64_t sketch_memory_bound_bytes = 0;
+};
+
+class QueryEngine {
+ public:
+  /// `snapshot` must be non-null; the engine shares ownership, so the
+  /// cube outlives every in-flight query.
+  explicit QueryEngine(std::shared_ptr<const CubeResult> snapshot,
+                       QueryEngineOptions options = {});
+
+  /// Executes one query (validating it against the snapshot; rejections
+  /// throw InvalidArgument). Returns a shared result — possibly served
+  /// from cache, always bit-identical to a fresh computation.
+  std::shared_ptr<const QueryResult> execute(const Query& query);
+
+  /// Executes a batch concurrently (one parallel_for chunk per query),
+  /// preserving order: result[i] answers batch[i]. The first exception
+  /// any query throws is rethrown after the batch drains.
+  std::vector<std::shared_ptr<const QueryResult>> execute_batch(
+      const std::vector<Query>& batch);
+
+  ServingStats stats() const;
+
+  const CubeResult& snapshot() const { return *snapshot_; }
+  bool cache_enabled() const { return cache_ != nullptr; }
+
+ private:
+  /// Computes the answer from the snapshot (no cache, no telemetry).
+  QueryResult compute(const Query& query) const;
+  /// Input cells scanned to answer `query` — the cache cost weight.
+  double scan_cost(const Query& query) const;
+  void record_latency(QueryKind kind, double micros);
+
+  std::shared_ptr<const CubeResult> snapshot_;
+  QueryEngineOptions options_;
+  std::unique_ptr<SliceCache> cache_;
+  std::atomic<std::int64_t> queries_{0};
+  mutable std::mutex telemetry_mutex_;
+  std::vector<QuantileSketch> sketches_;  // one per QueryKind + overall
+};
+
+}  // namespace cubist::serving

@@ -1,0 +1,90 @@
+#include "serving/slice_cache.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace cubist::serving {
+
+SliceCache::SliceCache(std::int64_t budget_bytes) : budget_(budget_bytes) {
+  CUBIST_CHECK(budget_bytes > 0, "cache budget must be positive, got "
+                                     << budget_bytes);
+}
+
+std::shared_ptr<const QueryResult> SliceCache::get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  Entry& entry = it->second;
+  // Refresh the GreedyDual priority against the current clock.
+  by_priority_.erase(entry.rank);
+  entry.rank = {clock_ + entry.cost / static_cast<double>(entry.bytes),
+                seq_++};
+  by_priority_.emplace(entry.rank, key);
+  return entry.result;
+}
+
+void SliceCache::put(const std::string& key,
+                     std::shared_ptr<const QueryResult> result, double cost) {
+  CUBIST_CHECK(result != nullptr, "cannot cache a null result");
+  CUBIST_CHECK(cost >= 0.0, "cache cost must be non-negative");
+  const std::int64_t bytes = std::max<std::int64_t>(result->bytes(), 1);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bytes > budget_) {
+    ++stats_.rejected;
+    return;
+  }
+  if (entries_.count(key) != 0) {
+    // Another thread computed the same (deterministic) result first.
+    return;
+  }
+  evict_to_fit(bytes);
+  Entry entry;
+  entry.result = std::move(result);
+  entry.cost = cost;
+  entry.bytes = bytes;
+  entry.rank = {clock_ + cost / static_cast<double>(bytes), seq_++};
+  by_priority_.emplace(entry.rank, key);
+  entries_.emplace(key, std::move(entry));
+  ++stats_.insertions;
+  stats_.bytes += bytes;
+  stats_.entries = static_cast<std::int64_t>(entries_.size());
+  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes);
+}
+
+void SliceCache::evict_to_fit(std::int64_t need) {
+  while (stats_.bytes + need > budget_ && !by_priority_.empty()) {
+    auto victim = by_priority_.begin();
+    // Age the clock to the victim's priority: future insertions compete
+    // against the value of what was just displaced.
+    clock_ = victim->first.first;
+    auto it = entries_.find(victim->second);
+    CUBIST_ASSERT(it != entries_.end(),
+                  "priority index out of sync with entry map");
+    stats_.bytes -= it->second.bytes;
+    ++stats_.evictions;
+    entries_.erase(it);
+    by_priority_.erase(victim);
+  }
+  stats_.entries = static_cast<std::int64_t>(entries_.size());
+}
+
+SliceCacheStats SliceCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void SliceCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  by_priority_.clear();
+  stats_.bytes = 0;
+  stats_.entries = 0;
+  clock_ = 0.0;
+}
+
+}  // namespace cubist::serving

@@ -1,0 +1,63 @@
+// Deterministic query-workload generation for serving benches and tests.
+//
+// A WorkloadGenerator enumerates a fixed universe of distinct query
+// descriptors over a cube's stored views (slices along every dimension
+// and index, uniform roll-ups, half-range dices, top-ks, and a sprinkle
+// of point lookups), deterministically shuffles it so ranks mix query
+// classes, and then samples it either uniformly or Zipfian-skewed.
+//
+// The Zipfian mode is the serving cache's raison d'être: real OLAP
+// dashboards hammer a small set of hot slices (Kaser & Lemire's hybrid
+// OLAP observation), so rank r is drawn with probability proportional to
+// 1 / (r+1)^s. Everything is seeded — the same spec over the same cube
+// yields the same query stream on every platform, which is what the
+// serving determinism matrix replays.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/cube_result.h"
+#include "serving/query.h"
+
+namespace cubist::serving {
+
+struct WorkloadSpec {
+  enum class Skew { kUniform, kZipfian };
+
+  Skew skew = Skew::kUniform;
+  /// Zipf exponent s (> 0); larger = hotter head. Ignored for uniform.
+  double zipf_exponent = 1.2;
+  /// Stream seed: distinct seeds give distinct-but-reproducible streams.
+  std::uint64_t seed = 1;
+  /// Cap on distinct descriptors in the universe (>= 1).
+  int max_universe = 4096;
+};
+
+class WorkloadGenerator {
+ public:
+  /// Builds the query universe over `cube`'s stored views. The cube must
+  /// store at least one view.
+  WorkloadGenerator(const CubeResult& cube, WorkloadSpec spec);
+
+  /// The sampled-from universe (after shuffle + cap), hottest rank first
+  /// under Zipfian skew.
+  const std::vector<Query>& universe() const { return universe_; }
+
+  /// Draws the next query of the stream.
+  Query next();
+
+  /// Draws `n` queries.
+  std::vector<Query> batch(int n);
+
+ private:
+  std::size_t next_rank();
+
+  WorkloadSpec spec_;
+  std::vector<Query> universe_;
+  std::vector<double> zipf_cdf_;  // prefix sums of 1/(r+1)^s
+  Xoshiro256ss rng_;
+};
+
+}  // namespace cubist::serving

@@ -1,0 +1,139 @@
+#include "common/quantile_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace cubist {
+namespace {
+
+// Rank distance of `value` from the exact q-quantile of `sorted`: zero
+// when some occurrence of `value` sits at the target rank, else the gap.
+std::int64_t rank_error(const std::vector<double>& sorted, double q,
+                        double value) {
+  const auto n = static_cast<std::int64_t>(sorted.size());
+  const auto target = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(n))));
+  const auto lo = static_cast<std::int64_t>(
+      std::lower_bound(sorted.begin(), sorted.end(), value) - sorted.begin());
+  const auto hi = static_cast<std::int64_t>(
+      std::upper_bound(sorted.begin(), sorted.end(), value) - sorted.begin());
+  if (target <= lo) return lo + 1 - target;
+  if (target > hi) return target - hi;
+  return 0;
+}
+
+void expect_within_epsilon(const std::vector<double>& data, double epsilon) {
+  QuantileSketch sketch(epsilon, static_cast<std::int64_t>(data.size()));
+  for (double v : data) sketch.add(v);
+  EXPECT_FALSE(sketch.overflowed());
+  std::vector<double> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const double budget =
+      epsilon * static_cast<double>(data.size()) + 1.0;  // +1: rank rounding
+  for (double q : {0.001, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const double value = sketch.quantile(q);
+    EXPECT_LE(static_cast<double>(rank_error(sorted, q, value)), budget)
+        << "q=" << q << " value=" << value;
+  }
+}
+
+TEST(QuantileSketchTest, ExactWhileBelowOneBuffer) {
+  QuantileSketch sketch(0.05, 1000);
+  for (int i = 10; i >= 1; --i) sketch.add(i);
+  EXPECT_EQ(sketch.count(), 10);
+  EXPECT_EQ(sketch.quantile(0.0), 1.0);
+  EXPECT_EQ(sketch.quantile(0.5), 5.0);
+  EXPECT_EQ(sketch.quantile(1.0), 10.0);
+}
+
+TEST(QuantileSketchTest, UniformStreamWithinEpsilon) {
+  Xoshiro256ss rng(42);
+  std::vector<double> data(200000);
+  for (double& v : data) v = rng.next_double();
+  expect_within_epsilon(data, 0.01);
+}
+
+TEST(QuantileSketchTest, HeavyTailStreamWithinEpsilon) {
+  // Latency-shaped data: most observations tiny, a long multiplicative
+  // tail — the distribution the serving sketches actually record.
+  Xoshiro256ss rng(7);
+  std::vector<double> data(150000);
+  for (double& v : data) {
+    v = std::exp(8.0 * rng.next_double());
+  }
+  expect_within_epsilon(data, 0.01);
+}
+
+TEST(QuantileSketchTest, SortedAndReversedStreamsWithinEpsilon) {
+  std::vector<double> ascending(120000);
+  for (std::size_t i = 0; i < ascending.size(); ++i) {
+    ascending[i] = static_cast<double>(i);
+  }
+  expect_within_epsilon(ascending, 0.02);
+  std::vector<double> descending(ascending.rbegin(), ascending.rend());
+  expect_within_epsilon(descending, 0.02);
+}
+
+TEST(QuantileSketchTest, ConstantStream) {
+  QuantileSketch sketch(0.01, 50000);
+  for (int i = 0; i < 50000; ++i) sketch.add(3.25);
+  EXPECT_EQ(sketch.quantile(0.5), 3.25);
+  EXPECT_EQ(sketch.quantile(0.999), 3.25);
+}
+
+TEST(QuantileSketchTest, MemoryStaysUnderStaticBound) {
+  QuantileSketch sketch(0.01, 200000);
+  const std::int64_t bound = sketch.memory_bound_bytes();
+  // The bound itself must be "bounded": far below buffering everything.
+  EXPECT_LT(bound, 200000 * static_cast<std::int64_t>(sizeof(double)) / 2);
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 200000; ++i) {
+    sketch.add(rng.next_double());
+    if (i % 1000 == 0) {
+      ASSERT_LE(sketch.memory_bytes(), bound) << "at add " << i;
+    }
+  }
+  EXPECT_LE(sketch.memory_bytes(), bound);
+}
+
+TEST(QuantileSketchTest, DeterministicAcrossIdenticalStreams) {
+  QuantileSketch a(0.02, 100000);
+  QuantileSketch b(0.02, 100000);
+  Xoshiro256ss rng_a(11);
+  Xoshiro256ss rng_b(11);
+  for (int i = 0; i < 100000; ++i) {
+    a.add(rng_a.next_double());
+    b.add(rng_b.next_double());
+  }
+  for (double q : {0.01, 0.5, 0.99, 0.999}) {
+    EXPECT_EQ(a.quantile(q), b.quantile(q));
+  }
+}
+
+TEST(QuantileSketchTest, OverflowKeepsWorkingButFlags) {
+  QuantileSketch sketch(0.05, 100);
+  for (int i = 0; i < 500; ++i) sketch.add(static_cast<double>(i));
+  EXPECT_TRUE(sketch.overflowed());
+  EXPECT_EQ(sketch.count(), 500);
+  EXPECT_GT(sketch.quantile(0.9), sketch.quantile(0.1));
+}
+
+TEST(QuantileSketchTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(QuantileSketch(0.0, 100), InvalidArgument);
+  EXPECT_THROW(QuantileSketch(0.5, 100), InvalidArgument);
+  EXPECT_THROW(QuantileSketch(0.01, 0), InvalidArgument);
+  QuantileSketch sketch(0.01, 100);
+  EXPECT_THROW(sketch.quantile(0.5), InvalidArgument);  // empty
+  sketch.add(1.0);
+  EXPECT_THROW(sketch.quantile(-0.1), InvalidArgument);
+  EXPECT_THROW(sketch.quantile(1.1), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cubist

@@ -2,11 +2,35 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/sequential_builder.h"
 #include "test_util.h"
 
 namespace cubist {
 namespace {
+
+// The pre-heap reference implementation of top_k (copy + partial sort of
+// the whole view): the bounded-heap version must reproduce its output —
+// including tie-break order — cell for cell.
+std::vector<std::pair<std::int64_t, Value>> top_k_reference(
+    const DenseArray& view, int k) {
+  const auto count =
+      static_cast<std::size_t>(std::min<std::int64_t>(k, view.size()));
+  std::vector<std::pair<std::int64_t, Value>> cells;
+  cells.reserve(static_cast<std::size_t>(view.size()));
+  for (std::int64_t i = 0; i < view.size(); ++i) {
+    cells.emplace_back(i, view[i]);
+  }
+  std::partial_sort(cells.begin(),
+                    cells.begin() + static_cast<std::ptrdiff_t>(count),
+                    cells.end(), [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  cells.resize(count);
+  return cells;
+}
 
 TEST(SliceTest, FixesOneDimension) {
   const DenseArray view = testing::iota_dense({3, 4});
@@ -62,9 +86,15 @@ TEST(DiceTest, FullRangeIsIdentity) {
 
 TEST(DiceTest, InvalidRangesThrow) {
   const DenseArray view = testing::iota_dense({3, 2});
+  // Rank mismatches in either direction.
   EXPECT_THROW(dice(view, {0}, {3}), InvalidArgument);
+  EXPECT_THROW(dice(view, {0, 0, 0}, {3, 2, 1}), InvalidArgument);
+  EXPECT_THROW(dice(view, {0, 0}, {3}), InvalidArgument);
+  // hi beyond the extent, empty range, negative lo, inverted range.
   EXPECT_THROW(dice(view, {0, 0}, {4, 2}), InvalidArgument);
   EXPECT_THROW(dice(view, {1, 0}, {1, 2}), InvalidArgument);
+  EXPECT_THROW(dice(view, {-1, 0}, {2, 2}), InvalidArgument);
+  EXPECT_THROW(dice(view, {2, 0}, {1, 2}), InvalidArgument);
 }
 
 TEST(RollupTest, MappingAggregatesGroups) {
@@ -108,10 +138,27 @@ TEST(RollupTest, FullFactorEqualsAggregation) {
 
 TEST(RollupTest, InvalidArgumentsThrow) {
   const DenseArray view = testing::iota_dense({4});
+  // Mapping shorter / out-of-range target / dimension out of range.
   EXPECT_THROW(rollup(view, 0, {0, 0, 1}, 2), InvalidArgument);
   EXPECT_THROW(rollup(view, 0, {0, 0, 1, 2}, 2), InvalidArgument);
   EXPECT_THROW(rollup(view, 1, {0, 0, 0, 0}, 1), InvalidArgument);
+  EXPECT_THROW(rollup(view, -1, {0, 0, 0, 0}, 1), InvalidArgument);
   EXPECT_THROW(rollup_uniform(view, 0, 0), InvalidArgument);
+  EXPECT_THROW(rollup_uniform(view, 2, 2), InvalidArgument);
+  // Negative mapping target.
+  EXPECT_THROW(rollup(view, 0, {0, -1, 1, 1}, 2), InvalidArgument);
+  // Non-positive coarse extent.
+  EXPECT_THROW(rollup(view, 0, {0, 0, 0, 0}, 0), InvalidArgument);
+}
+
+TEST(RollupTest, NonSurjectiveMappingThrows) {
+  const DenseArray view = testing::iota_dense({4});
+  // Coarse coordinate 1 is never a target: almost always a mis-sized
+  // coarse_extent, so it must be rejected rather than silently zero.
+  EXPECT_THROW(rollup(view, 0, {0, 0, 2, 2}, 3), InvalidArgument);
+  EXPECT_THROW(rollup(view, 0, {0, 0, 0, 0}, 2), InvalidArgument);
+  // The same mapping with a tight coarse extent is fine.
+  EXPECT_NO_THROW(rollup(view, 0, {0, 0, 1, 1}, 2));
 }
 
 TEST(TopKTest, ReturnsLargestDescending) {
@@ -133,6 +180,30 @@ TEST(TopKTest, KClippedToSize) {
   EXPECT_EQ(top_k(view, 10).size(), 3u);
   EXPECT_TRUE(top_k(view, 0).empty());
   EXPECT_THROW(top_k(view, -1), InvalidArgument);
+}
+
+TEST(TopKTest, HeapMatchesFullSortReference) {
+  // Identity pin: the O(n log k) bounded-heap implementation reproduces
+  // the old copy-and-sort implementation exactly, ties included.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    // density 0.3 with values 1..9 => heavy duplication, many ties.
+    const DenseArray view = testing::random_dense({17, 23}, 0.3, seed);
+    for (int k : {0, 1, 2, 7, 64, 390, 391, 1000}) {
+      EXPECT_EQ(top_k(view, k), top_k_reference(view, k))
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(TopKTest, AllEqualValuesOrderedByIndex) {
+  DenseArray view{Shape{{6}}};
+  view.fill(4.0);
+  const auto top = top_k(view, 4);
+  ASSERT_EQ(top.size(), 4u);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(top[static_cast<std::size_t>(i)],
+              (std::pair<std::int64_t, Value>{i, 4.0}));
+  }
 }
 
 }  // namespace

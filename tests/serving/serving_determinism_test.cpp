@@ -1,0 +1,97 @@
+// Determinism matrix for the serving path: the same query batch through
+// QueryEngine must yield bit-identical results at every pool size and
+// with the cache on or off. This extends the build-path determinism
+// contract (encoding x chunk x pool) to serving; the TSan CI preset runs
+// it with real concurrency, which also proves the snapshot read path is
+// race-free without locks.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/sequential_builder.h"
+#include "serving/query_engine.h"
+#include "serving/workload.h"
+#include "test_util.h"
+
+namespace cubist::serving {
+namespace {
+
+std::vector<QueryResult> run_matrix_cell(
+    const std::shared_ptr<const CubeResult>& cube,
+    const std::vector<Query>& batch, int pool_size, bool cache_on) {
+  ThreadPool pool(pool_size);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  options.max_workers = pool_size;
+  options.cache_budget_bytes = cache_on ? (std::int64_t{8} << 20) : 0;
+  QueryEngine engine(cube, options);
+  const auto shared = engine.execute_batch(batch);
+  std::vector<QueryResult> results;
+  results.reserve(shared.size());
+  for (const auto& r : shared) results.push_back(*r);
+  return results;
+}
+
+TEST(ServingDeterminismTest, BatchIdenticalAcrossPoolSizesAndCache) {
+  const DenseArray input = testing::random_dense({8, 6, 5}, 0.6, 21);
+  auto cube = std::make_shared<const CubeResult>(build_cube_sequential(input));
+
+  WorkloadSpec spec;
+  spec.skew = WorkloadSpec::Skew::kZipfian;
+  spec.zipf_exponent = 1.1;
+  spec.seed = 5;
+  WorkloadGenerator workload(*cube, spec);
+  const std::vector<Query> batch = workload.batch(400);
+
+  const std::vector<QueryResult> baseline =
+      run_matrix_cell(cube, batch, /*pool_size=*/1, /*cache_on=*/false);
+  ASSERT_EQ(baseline.size(), batch.size());
+
+  for (int pool_size : {1, 2, 8}) {
+    for (bool cache_on : {false, true}) {
+      const std::vector<QueryResult> cell =
+          run_matrix_cell(cube, batch, pool_size, cache_on);
+      ASSERT_EQ(cell.size(), baseline.size());
+      for (std::size_t i = 0; i < cell.size(); ++i) {
+        ASSERT_EQ(cell[i], baseline[i])
+            << "pool=" << pool_size << " cache=" << cache_on
+            << " slot=" << i << " key=" << batch[i].cache_key();
+      }
+    }
+  }
+}
+
+TEST(ServingDeterminismTest, ConcurrentBatchesOnOneEngineStayIdentical) {
+  // One engine, one shared cache, many batches racing through the pool:
+  // the memoized results must keep matching fresh computation.
+  const DenseArray input = testing::random_dense({7, 6, 4}, 0.5, 33);
+  auto cube = std::make_shared<const CubeResult>(build_cube_sequential(input));
+
+  WorkloadSpec spec;
+  spec.skew = WorkloadSpec::Skew::kZipfian;
+  spec.seed = 17;
+  WorkloadGenerator workload(*cube, spec);
+  const std::vector<Query> batch = workload.batch(200);
+
+  ThreadPool pool(8);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  options.max_workers = 8;
+  QueryEngine engine(cube, options);
+  QueryEngine reference(cube, {});  // fresh engine, serial, default cache
+
+  for (int round = 0; round < 3; ++round) {
+    const auto got = engine.execute_batch(batch);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(*got[i], *reference.execute(batch[i]))
+          << "round " << round << " slot " << i;
+    }
+  }
+  // The shared cache actually served hits (the batch repeats queries).
+  EXPECT_GT(engine.stats().cache.hits, 0);
+}
+
+}  // namespace
+}  // namespace cubist::serving

@@ -1,0 +1,125 @@
+#include "serving/slice_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/error.h"
+
+namespace cubist::serving {
+namespace {
+
+// A slice-kind result holding `values` doubles: bytes() == values * 8.
+std::shared_ptr<const QueryResult> make_result(std::int64_t values) {
+  QueryResult result;
+  result.kind = QueryKind::kSlice;
+  result.array = DenseArray{Shape{{values}}};
+  return std::make_shared<const QueryResult>(std::move(result));
+}
+
+TEST(SliceCacheTest, MissThenHit) {
+  SliceCache cache(1 << 20);
+  EXPECT_EQ(cache.get("a"), nullptr);
+  auto value = make_result(10);
+  cache.put("a", value, 100.0);
+  auto hit = cache.get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, *value);
+  const SliceCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 1);
+  EXPECT_EQ(stats.entries, 1);
+  EXPECT_EQ(stats.bytes, 80);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.5);
+}
+
+TEST(SliceCacheTest, EvictsToStayUnderBudget) {
+  // Budget fits three 80-byte entries.
+  SliceCache cache(240);
+  cache.put("a", make_result(10), 1.0);
+  cache.put("b", make_result(10), 1.0);
+  cache.put("c", make_result(10), 1.0);
+  EXPECT_EQ(cache.stats().bytes, 240);
+  cache.put("d", make_result(10), 1.0);
+  const SliceCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 3);
+  EXPECT_LE(stats.bytes, 240);
+  EXPECT_EQ(stats.peak_bytes, 240);
+  // Uniform costs degrade to LRU: the oldest untouched entry went first.
+  EXPECT_EQ(cache.get("a"), nullptr);
+  EXPECT_NE(cache.get("d"), nullptr);
+}
+
+TEST(SliceCacheTest, HitRefreshesRecency) {
+  SliceCache cache(240);
+  cache.put("a", make_result(10), 1.0);
+  cache.put("b", make_result(10), 1.0);
+  cache.put("c", make_result(10), 1.0);
+  EXPECT_NE(cache.get("a"), nullptr);  // bump a's priority
+  cache.put("d", make_result(10), 1.0);
+  // b, not a, is now the minimum-priority victim.
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_NE(cache.get("a"), nullptr);
+}
+
+TEST(SliceCacheTest, ExpensiveEntriesOutliveCheapOnes) {
+  SliceCache cache(240);
+  // Same size, wildly different recompute cost per byte.
+  cache.put("gold", make_result(10), 1e6);
+  cache.put("b", make_result(10), 1.0);
+  cache.put("c", make_result(10), 1.0);
+  // Two insertions displace the cheap entries; GreedyDual keeps "gold"
+  // resident even though it is the least recently used.
+  cache.put("d", make_result(10), 1.0);
+  cache.put("e", make_result(10), 1.0);
+  EXPECT_EQ(cache.stats().evictions, 2);
+  EXPECT_NE(cache.get("gold"), nullptr);
+  EXPECT_EQ(cache.get("b"), nullptr);
+  EXPECT_EQ(cache.get("c"), nullptr);
+}
+
+TEST(SliceCacheTest, OversizedEntryRejected) {
+  SliceCache cache(100);
+  cache.put("big", make_result(1000), 5.0);
+  const SliceCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.rejected, 1);
+  EXPECT_EQ(stats.insertions, 0);
+  EXPECT_EQ(stats.bytes, 0);
+  EXPECT_EQ(cache.get("big"), nullptr);
+}
+
+TEST(SliceCacheTest, DuplicatePutKeepsResidentEntry) {
+  SliceCache cache(1 << 20);
+  cache.put("a", make_result(10), 1.0);
+  cache.put("a", make_result(10), 1.0);  // concurrent-compute loser
+  const SliceCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 1);
+  EXPECT_EQ(stats.bytes, 80);
+  EXPECT_EQ(stats.entries, 1);
+}
+
+TEST(SliceCacheTest, ClearResetsResidencyNotCounters) {
+  SliceCache cache(1 << 20);
+  cache.put("a", make_result(10), 1.0);
+  EXPECT_NE(cache.get("a"), nullptr);
+  cache.clear();
+  EXPECT_EQ(cache.get("a"), nullptr);
+  const SliceCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.bytes, 0);
+  EXPECT_EQ(stats.hits, 1);  // history survives for reporting
+}
+
+TEST(SliceCacheTest, InvalidArgumentsThrow) {
+  EXPECT_THROW(SliceCache(0), InvalidArgument);
+  EXPECT_THROW(SliceCache(-5), InvalidArgument);
+  SliceCache cache(100);
+  EXPECT_THROW(cache.put("a", nullptr, 1.0), InvalidArgument);
+  EXPECT_THROW(cache.put("a", make_result(1), -1.0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cubist::serving

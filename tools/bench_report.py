@@ -17,6 +17,25 @@ sparsities, adaptive encoding on/off) and writes BENCH_comm.json:
     }
   }
 
+With --serving, instead runs the query-serving load generator
+(bench/bench_serving: BM_Serving across clients x batch x skew x cache)
+and writes BENCH_serving.json:
+
+  {
+    "schema": "cubist-bench-serving/1",
+    "shape": "fig",           # 32x32x16x16; --smoke switches to 8^3
+    "rows": [
+      {"name": "BM_Serving/fig/c8/b256/zipf/cache", "clients": 8,
+       "batch": 256, "zipf": 1, "cache": 1, "qps": ..., "hit_pct": ...,
+       "p50_us": ..., "p99_us": ..., "p999_us": ...,
+       "classes": {"slice": {"count": ..., "p50_us": ...}, ...}}, ...
+    ],
+    "summary": {              # cache-on vs cache-off, per (clients, skew)
+      "zipf/c8": {"hit_pct": ..., "p99_off_us": ..., "p99_on_us": ...,
+                  "p99_speedup": ..., "qps_speedup": ...}, ...
+    }
+  }
+
 In the default (kernel) mode it wraps bench/bench_kernels with
 --benchmark_format=json, sweeps CUBIST_THREADS over a thread list, and
 normalizes the per-run JSON into one stable document:
@@ -54,9 +73,12 @@ import sys
 
 DEFAULT_OUT = "BENCH_kernels.json"
 DEFAULT_COMM_OUT = "BENCH_comm.json"
+DEFAULT_SERVING_OUT = "BENCH_serving.json"
 DEFAULT_BINARY_DIRS = ("build-release", "build")
 SCHEMA = "cubist-bench-kernels/1"
 COMM_SCHEMA = "cubist-bench-comm/1"
+SERVING_SCHEMA = "cubist-bench-serving/1"
+QUERY_CLASSES = ("point", "slice", "dice", "rollup", "topk")
 
 
 def find_binary(explicit, bench_name):
@@ -206,6 +228,91 @@ def comm_report(args):
     return 0
 
 
+def serving_report(args):
+    """--serving mode: BM_Serving counters -> BENCH_serving.json."""
+    shape = "smoke" if args.smoke else "fig"
+    binary = find_binary(args.binary, "bench_serving")
+    bench_filter = args.filter or f"BM_Serving/{shape}/"
+    print(f"running {os.path.basename(binary)} "
+          f"({shape} shape, filter {bench_filter}) ...")
+    raw = run_once(binary, os.cpu_count() or 1, bench_filter, 0.01)
+
+    rows = []
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        row = {
+            "name": bench["name"],
+            "clients": int(bench.get("clients", 0)),
+            "batch": int(bench.get("batch", 0)),
+            "zipf": int(bench.get("zipf", 0)),
+            "cache": int(bench.get("cache", 0)),
+            "served": int(bench.get("served", 0)),
+            "qps": round(bench.get("qps", 0.0), 1),
+            "hit_pct": round(bench.get("hit_pct", 0.0), 2),
+            "cache_bytes_peak": int(bench.get("cache_bytes_peak", 0)),
+            "p50_us": round(bench.get("p50_us", 0.0), 3),
+            "p99_us": round(bench.get("p99_us", 0.0), 3),
+            "p999_us": round(bench.get("p999_us", 0.0), 3),
+            "sketch_KB": round(bench.get("sketch_KB", 0.0), 2),
+            "sketch_bound_KB": round(bench.get("sketch_bound_KB", 0.0), 2),
+        }
+        classes = {}
+        for cls in QUERY_CLASSES:
+            if f"n_{cls}" not in bench:
+                continue
+            classes[cls] = {
+                "count": int(bench[f"n_{cls}"]),
+                "p50_us": round(bench.get(f"p50_{cls}_us", 0.0), 3),
+                "p99_us": round(bench.get(f"p99_{cls}_us", 0.0), 3),
+                "p999_us": round(bench.get(f"p999_{cls}_us", 0.0), 3),
+            }
+        row["classes"] = classes
+        rows.append(row)
+    if not rows:
+        sys.exit("no BM_Serving rows produced; wrong filter or binary?")
+
+    # Pair cache-on vs cache-off per (skew, clients, batch) corner.
+    summary = {}
+    by_corner = {}
+    for row in rows:
+        corner = (row["zipf"], row["clients"], row["batch"])
+        by_corner.setdefault(corner, {})[row["cache"]] = row
+    for (zipf, clients, batch), pair in sorted(by_corner.items()):
+        if 0 not in pair or 1 not in pair:
+            continue
+        off_row, on_row = pair[0], pair[1]
+        key = f"{'zipf' if zipf else 'uniform'}/c{clients}/b{batch}"
+        entry = {
+            "hit_pct": on_row["hit_pct"],
+            "p99_off_us": off_row["p99_us"],
+            "p99_on_us": on_row["p99_us"],
+        }
+        if on_row["p99_us"] > 0:
+            entry["p99_speedup"] = round(
+                off_row["p99_us"] / on_row["p99_us"], 3
+            )
+        if off_row["qps"] > 0:
+            entry["qps_speedup"] = round(on_row["qps"] / off_row["qps"], 3)
+        summary[key] = entry
+
+    report = {
+        "schema": SERVING_SCHEMA,
+        "generated_by": "tools/bench_report.py --serving",
+        "smoke": args.smoke,
+        "shape": shape,
+        "rows": rows,
+        "summary": summary,
+    }
+    out = args.out if args.out != DEFAULT_OUT else DEFAULT_SERVING_OUT
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {out} ({len(rows)} rows, "
+          f"{len(summary)} cache-on/off pairs)")
+    return 0
+
+
 def parse_threads(text):
     threads = []
     for piece in text.split(","):
@@ -247,10 +354,20 @@ def main():
         help="communication-engine mode: run bench_comm_volume's "
         "BM_CommEngine cases and write BENCH_comm.json",
     )
+    parser.add_argument(
+        "--serving",
+        action="store_true",
+        help="serving-engine mode: run bench_serving's BM_Serving cases "
+        "and write BENCH_serving.json",
+    )
     args = parser.parse_args()
 
+    if args.comm and args.serving:
+        sys.exit("--comm and --serving are mutually exclusive")
     if args.comm:
         return comm_report(args)
+    if args.serving:
+        return serving_report(args)
 
     nproc = os.cpu_count() or 1
     if args.threads:
