@@ -154,6 +154,97 @@ void BM_ReduceChunkSweep(benchmark::State& state) {
   state.counters["sim_s"] = report.construction_seconds;
 }
 
+FigureTable& algorithm_table() {
+  static FigureTable table(
+      "Collective selection: forced reduction algorithms vs cost-tuned "
+      "auto across density x topology (3-bit grid on dim 0, p=8)",
+      {"shape", "point", "density", "algorithm", "chosen_views",
+       "logical_MB", "wire_MB", "sim_time_s"});
+  return table;
+}
+
+std::string chosen_summary(
+    const std::map<std::uint32_t, ReduceAlgorithm>& by_view) {
+  std::map<ReduceAlgorithm, int> counts;
+  for (const auto& [mask, algorithm] : by_view) ++counts[algorithm];
+  std::string out;
+  for (const auto& [algorithm, count] : counts) {
+    if (!out.empty()) out += ' ';
+    out += to_string(algorithm);
+    out += ':';
+    out += std::to_string(count);
+  }
+  return out.empty() ? "-" : out;
+}
+
+/// Inter-node link of the sweep's two-tier points: a cluster-of-SMPs
+/// uplink an order of magnitude worse than paper_model()'s intra fabric,
+/// so hierarchical schedules have something to win.
+LinkCost sweep_inter_link() {
+  LinkCost link;
+  link.latency = 2e-3;
+  link.overhead = 5e-5;
+  link.bandwidth = 2.5e6;
+  return link;
+}
+
+/// One sweep cell: a full construction with the reduction algorithm
+/// forced (or kAuto for the tuner), fully certified — static schedule
+/// verifier pre-flight, post-run ledger + wire audits against the tuned
+/// plan, and the happens-before auditor over the recorded trace.
+/// (Exhaustive interleaving certification of the same tuned schedules
+/// runs in CI via `cubist-analyze --figure7 --algorithm=...`, where the
+/// shapes are small enough to enumerate every arrival order.)
+void BM_AlgorithmSweep(benchmark::State& state,
+                       const std::vector<std::int64_t>& sizes,
+                       const std::vector<int>& splits, int ranks_per_node,
+                       double density, ReduceAlgorithm algorithm,
+                       const std::string& point) {
+  CostModel model = paper_model();
+  if (ranks_per_node > 0) {
+    model.topology.ranks_per_node = ranks_per_node;
+    model.topology.inter = sweep_inter_link();
+  }
+  const BlockProvider provider =
+      DatasetCache::instance().provider(sizes, density, kSeed);
+  ParallelOptions options;
+  options.reduce_algorithm = algorithm;
+  options.reduce_density_hint = density;
+  options.verify_schedule = true;
+  options.audit_volume = true;
+  options.audit_hb = true;
+  ParallelCubeReport report;
+  for (auto _ : state) {
+    report = run_parallel_cube(sizes, splits, model, provider,
+                               /*collect_result=*/false, options);
+    state.SetIterationTime(report.construction_seconds);
+  }
+  std::map<ReduceAlgorithm, int> chosen;
+  for (const auto& [mask, resolved] : report.reduce_algorithm_by_view) {
+    ++chosen[resolved];
+  }
+  const double logical_mb =
+      static_cast<double>(report.construction_bytes) / 1e6;
+  const double wire_mb =
+      static_cast<double>(report.construction_wire_bytes) / 1e6;
+  algorithm_table().add(
+      {shape_name(sizes), point, TextTable::fixed(density * 100.0, 0) + "%",
+       to_string(algorithm), chosen_summary(report.reduce_algorithm_by_view),
+       TextTable::fixed(logical_mb, 3), TextTable::fixed(wire_mb, 3),
+       TextTable::fixed(report.construction_seconds, 3)});
+  state.counters["density_pct"] = density * 100.0;
+  state.counters["rpn"] = static_cast<double>(ranks_per_node);
+  state.counters["logical_MB"] = logical_mb;
+  state.counters["wire_MB"] = wire_mb;
+  state.counters["sim_s"] = report.construction_seconds;
+  state.counters["views_binomial"] =
+      static_cast<double>(chosen[ReduceAlgorithm::kBinomial]);
+  state.counters["views_ring"] =
+      static_cast<double>(chosen[ReduceAlgorithm::kRing]);
+  state.counters["views_two_level"] =
+      static_cast<double>(chosen[ReduceAlgorithm::kTwoLevel]);
+}
+
 void register_benchmarks() {
   const std::vector<std::int64_t> fig7_sizes{64, 64, 64, 64};
   const std::vector<std::int64_t> smoke_sizes{16, 16, 16, 16};
@@ -174,6 +265,52 @@ void register_benchmarks() {
             ->UseManualTime()
             ->Iterations(1)
             ->Unit(benchmark::kMillisecond);
+      }
+    }
+  }
+  // Algorithm sweep: (view size via shape) x density x topology, each
+  // forced algorithm plus the tuner. One 8-rank group along dim 0 keeps
+  // every proper view's reduction on the same group so the algorithms
+  // differ only in schedule.
+  struct SweepPoint {
+    const char* name;
+    std::vector<int> splits;
+    int ranks_per_node;
+  };
+  // Group-size axis: g8 puts all 8 ranks in one reduction group (one big
+  // view), g4x2 splits them 4 along dim 0 and 2 along dim 1 (several
+  // views with group sizes 4 and 2). Topology axis: flat vs 3 ranks/node.
+  const SweepPoint sweep_points[] = {
+      {"g8-flat", {3, 0, 0, 0}, 0},
+      {"g8-2tier", {3, 0, 0, 0}, 3},
+      {"g4x2-flat", {2, 1, 0, 0}, 0},
+      {"g4x2-2tier", {2, 1, 0, 0}, 3},
+  };
+  for (const auto& sizes : {fig7_sizes, smoke_sizes}) {
+    const std::string shape = sizes == smoke_sizes ? "smoke" : "fig7";
+    for (const SweepPoint& point : sweep_points) {
+      for (double density : {0.5, 0.25}) {
+        for (ReduceAlgorithm algorithm :
+             {ReduceAlgorithm::kBinomial, ReduceAlgorithm::kRing,
+              ReduceAlgorithm::kTwoLevel, ReduceAlgorithm::kAuto}) {
+          const std::string name =
+              "BM_AlgorithmSweep/" + shape + "/" + point.name + "/d" +
+              std::to_string(static_cast<int>(density * 100)) + "/" +
+              to_string(algorithm);
+          const std::string point_name = point.name;
+          const std::vector<int> splits = point.splits;
+          const int rpn = point.ranks_per_node;
+          ::benchmark::RegisterBenchmark(
+              name.c_str(),
+              [sizes, splits, rpn, density, algorithm,
+               point_name](benchmark::State& state) {
+                BM_AlgorithmSweep(state, sizes, splits, rpn, density,
+                                  algorithm, point_name);
+              })
+              ->UseManualTime()
+              ->Iterations(1)
+              ->Unit(benchmark::kMillisecond);
+        }
       }
     }
   }
@@ -208,6 +345,7 @@ void register_benchmarks() {
 void print_tables() {
   volume_table().print();
   engine_table().print();
+  algorithm_table().print();
   chunk_table().print();
 }
 

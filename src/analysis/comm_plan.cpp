@@ -25,8 +25,10 @@ class RankPlanner {
         rank_(rank),
         block_(grid.block(rank, spec.sizes)) {}
 
-  RankPlan run(std::map<std::uint32_t, std::int64_t>& elements_by_view) {
+  RankPlan run(std::map<std::uint32_t, std::int64_t>& elements_by_view,
+               std::map<std::uint32_t, ReduceAlgorithm>& algorithm_by_view) {
     elements_by_view_ = &elements_by_view;
+    algorithm_by_view_ = &algorithm_by_view;
     compute_children(tree_.root());
     descend(tree_.root());
     return std::move(plan_);
@@ -95,14 +97,16 @@ class RankPlanner {
     }
   }
 
-  /// The chunk-pipelined binomial-tree reduction of Comm::reduce, as
-  /// planned operations. Chunk-outer, step-inner: each cap-sized chunk
-  /// runs the whole binomial schedule (receive from below in ascending
-  /// step order, then — for interior members — ship upward) before the
-  /// next chunk starts. Zero-size blocks plan nothing (the runtime skips
-  /// the wire entirely). Planned element counts are LOGICAL (dense)
-  /// sizes; the adaptive wire codec only ever shrinks them, which is what
-  /// the wire audit certifies.
+  /// The chunk-pipelined reduction of Comm::reduce, as planned
+  /// operations. The schedule (binomial / ring / two-level; kAuto via
+  /// the tuner) comes from the SAME generator the runtime executes
+  /// (minimpi/collectives.h), resolved on the same static inputs — so
+  /// whatever the tuner picks is exactly what gets verified. Chunk-
+  /// outer, step-inner: each chunk runs the whole per-member schedule
+  /// before the next chunk starts. Zero-size blocks plan nothing (the
+  /// runtime skips the wire entirely). Planned element counts are
+  /// LOGICAL (dense) sizes; the adaptive wire codec only ever shrinks
+  /// them, which is what the wire audit certifies.
   void plan_reduce(const std::vector<int>& group, DimSet child) {
     const int g = static_cast<int>(group.size());
     int me = -1;
@@ -112,26 +116,30 @@ class RankPlanner {
     CUBIST_ASSERT(me >= 0, "rank not in its own axis group");
     const std::int64_t total = view_cells(child);
     if (total == 0 || g == 1) return;
-    const std::int64_t piece = spec_.reduce_message_elements == 0
-                                   ? total
-                                   : spec_.reduce_message_elements;
+    const ReduceAlgorithm algorithm = resolve_reduce_algorithm(
+        spec_.reduce_algorithm, group, total, spec_.reduce_message_elements,
+        spec_.model, spec_.reduce_density_hint, spec_.encode_wire);
+    (*algorithm_by_view_)[child.mask()] = algorithm;
+    const std::int64_t piece = reduce_chunk_elements(
+        algorithm, total, g, spec_.reduce_message_elements);
+    const std::vector<ReduceStep> steps =
+        reduce_chunk_steps(algorithm, group, me, spec_.model.topology);
     for (std::int64_t offset = 0; offset < total; offset += piece) {
       const std::int64_t count = std::min(piece, total - offset);
-      for (int step = 1; step < g; step <<= 1) {
-        if ((me & step) != 0) {
-          plan_.ops.push_back({PlannedOp::Kind::kSend, group[me - step],
+      for (const ReduceStep& step : steps) {
+        if (step.kind == ReduceStep::Kind::kSend) {
+          plan_.ops.push_back({PlannedOp::Kind::kSend, step.peer,
                                child.mask(), count, offset});
           (*elements_by_view_)[child.mask()] += count;
-          break;  // this member is done with this chunk
-        }
-        if (me + step < g) {
+        } else {
           // Each receive is immediately folded into the local block: the
-          // combine is a first-class IR event because its ORDER (binomial
-          // step order here, deterministic by construction) is exactly
-          // what the interleaving checker certifies.
-          plan_.ops.push_back({PlannedOp::Kind::kRecv, group[me + step],
+          // combine is a first-class IR event because its ORDER (fixed
+          // step order, deterministic by construction for every
+          // algorithm) is exactly what the interleaving checker
+          // certifies.
+          plan_.ops.push_back({PlannedOp::Kind::kRecv, step.peer,
                                child.mask(), count, offset});
-          plan_.ops.push_back({PlannedOp::Kind::kCombine, group[me + step],
+          plan_.ops.push_back({PlannedOp::Kind::kCombine, step.peer,
                                child.mask(), count, offset});
         }
       }
@@ -151,6 +159,7 @@ class RankPlanner {
   BlockRange block_;
   RankPlan plan_;
   std::map<std::uint32_t, std::int64_t>* elements_by_view_ = nullptr;
+  std::map<std::uint32_t, ReduceAlgorithm>* algorithm_by_view_ = nullptr;
 };
 
 }  // namespace
@@ -190,14 +199,15 @@ CommPlan build_comm_plan(const ScheduleSpec& spec) {
   CUBIST_CHECK(spec.reduce_message_elements >= 0,
                "negative reduction message cap");
   CUBIST_CHECK(spec.bytes_per_cell > 0, "bytes_per_cell must be positive");
-  const ProcGrid grid(spec.log_splits);
+  const ProcGrid grid(spec.log_splits, spec.model.topology);
   const AggregationTree tree(grid.ndims());
   CommPlan plan;
   plan.num_ranks = grid.size();
   plan.ranks.reserve(static_cast<std::size_t>(grid.size()));
   for (int rank = 0; rank < grid.size(); ++rank) {
     RankPlanner planner(spec, grid, tree, rank);
-    plan.ranks.push_back(planner.run(plan.elements_by_view));
+    plan.ranks.push_back(
+        planner.run(plan.elements_by_view, plan.algorithm_by_view));
   }
   return plan;
 }

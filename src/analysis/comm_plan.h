@@ -18,6 +18,8 @@
 #include "analysis/schedule_ir.h"
 #include "array/shape.h"
 #include "common/dimset.h"
+#include "minimpi/collectives.h"
+#include "minimpi/cost_model.h"
 
 namespace cubist {
 
@@ -34,6 +36,17 @@ struct ScheduleSpec {
   std::int64_t reduce_message_elements = 0;
   /// Bytes per array cell (sizeof(Value) for the real builders).
   std::int64_t bytes_per_cell = static_cast<std::int64_t>(sizeof(Value));
+  /// Reduction schedule, as in ReduceOptions::algorithm. kAuto resolves
+  /// through the same tuner on the same static inputs as the runtime, so
+  /// the plan IS the tuned schedule the ranks will execute — whatever the
+  /// tuner picks is what gets verified and model checked.
+  ReduceAlgorithm reduce_algorithm = ReduceAlgorithm::kBinomial;
+  /// Tuner inputs mirrored from ReduceOptions / ParallelOptions: the
+  /// static density hint, the wire-codec switch, and the cost model whose
+  /// topology maps ranks onto nodes.
+  double reduce_density_hint = 1.0;
+  bool encode_wire = true;
+  CostModel model;
 };
 
 /// One planned operation of a rank, in program order. Planned ops ARE
@@ -75,6 +88,10 @@ struct CommPlan {
   /// summary: verify_schedule recomputes volumes from `ranks[].ops`, so
   /// mutating the ops does not require keeping this map in sync.
   std::map<std::uint32_t, std::int64_t> elements_by_view;
+  /// Resolved reduction schedule per view (the tuner's pick under kAuto,
+  /// the forced algorithm otherwise) — the attribution record the bench
+  /// reports surface. Informational summary like elements_by_view.
+  std::map<std::uint32_t, ReduceAlgorithm> algorithm_by_view;
 
   std::int64_t total_elements() const;
   std::int64_t total_messages() const;

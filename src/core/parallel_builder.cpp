@@ -36,6 +36,8 @@ class RankBuilder {
         options_.pool != nullptr ? options_.pool : &ThreadPool::global();
     agg_options_.pool = pool;
     agg_options_.max_workers = std::max(1, pool->size() / grid_.size());
+    reduce_options_.algorithm = options_.reduce_algorithm;
+    reduce_options_.density_hint = options_.reduce_density_hint;
     reduce_options_.max_message_elements = options_.reduce_message_elements;
     reduce_options_.wire.enabled = options_.encode_wire;
     reduce_options_.wire.density_threshold = options_.wire_density_threshold;

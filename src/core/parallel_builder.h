@@ -38,6 +38,17 @@ inline constexpr bool kScheduleAnalysisDefault = true;
 struct ParallelOptions {
   /// Aggregate operator (the paper fixes SUM).
   AggregateOp op = AggregateOp::kSum;
+  /// Reduction schedule per collective (minimpi/collectives.h). The
+  /// default kAuto lets the cost tuner pick binomial / ring / two-level
+  /// per (block size, group, density hint, topology); the tuner only
+  /// leaves binomial on a clear predicted win, so small latency-bound
+  /// reductions keep the paper's schedule. Forced values pin one
+  /// algorithm for every reduction (benches and the determinism matrix).
+  ReduceAlgorithm reduce_algorithm = ReduceAlgorithm::kAuto;
+  /// Static density hint for the kAuto tuner (non-identity fraction of
+  /// reduction payloads). Never measured at runtime — the static planner
+  /// must resolve kAuto to the identical schedule.
+  double reduce_density_hint = 1.0;
   /// Cap on elements per reduction message (0 = whole block per message).
   /// The communication-frequency knob: *logical* volume is unchanged,
   /// message count and latency cost grow as the cap shrinks, and the

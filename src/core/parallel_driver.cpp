@@ -59,7 +59,7 @@ ParallelCubeReport run_parallel_cube(const std::vector<std::int64_t>& sizes,
                                      bool collect_result,
                                      const ParallelOptions& options) {
   CUBIST_CHECK(provider != nullptr, "null block provider");
-  const ProcGrid grid(log_splits);
+  const ProcGrid grid(log_splits, model.topology);
   CUBIST_CHECK(grid.ndims() == static_cast<int>(sizes.size()),
                "grid rank mismatch");
   const int p = grid.size();
@@ -69,6 +69,13 @@ ParallelCubeReport run_parallel_cube(const std::vector<std::int64_t>& sizes,
   schedule_spec.sizes = sizes;
   schedule_spec.log_splits = log_splits;
   schedule_spec.reduce_message_elements = options.reduce_message_elements;
+  // Mirror every input the collective tuner reads, so the plan resolves
+  // kAuto to exactly the schedule the ranks will execute (and the post-run
+  // audits rebuild the same plan).
+  schedule_spec.reduce_algorithm = options.reduce_algorithm;
+  schedule_spec.reduce_density_hint = options.reduce_density_hint;
+  schedule_spec.encode_wire = options.encode_wire;
+  schedule_spec.model = model;
   const bool model_check = options.model_check && p <= kModelCheckMaxRanks;
   std::optional<CommPlan> plan;
   if (options.verify_schedule || model_check) {
@@ -90,6 +97,9 @@ ParallelCubeReport run_parallel_cube(const std::vector<std::int64_t>& sizes,
   }
 
   ParallelCubeReport report;
+  if (plan) {
+    report.reduce_algorithm_by_view = plan->algorithm_by_view;
+  }
   report.rank_stats.resize(static_cast<std::size_t>(p));
   std::atomic<std::int64_t> total_nnz{0};
   std::optional<CubeResult> assembled;

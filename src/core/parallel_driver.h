@@ -60,6 +60,10 @@ struct ParallelCubeReport {
   std::vector<ParallelBuildStats> rank_stats;
   /// Total non-zeros across all rank blocks (the distributed input size).
   std::int64_t total_nnz = 0;
+  /// Resolved reduction schedule per view (the tuner's pick under kAuto),
+  /// from the static plan. Filled only when the plan was built, i.e. when
+  /// verify_schedule or the model-check gate ran.
+  std::map<std::uint32_t, ReduceAlgorithm> reduce_algorithm_by_view;
   /// Assembled cube (only when collect_result was true).
   std::optional<CubeResult> cube;
 };

@@ -1,0 +1,304 @@
+#include "minimpi/collectives.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "common/error.h"
+
+namespace cubist {
+namespace {
+
+/// Wire bytes per element (sizeof the runtime's Value type; kept as a
+/// local constant so minimpi does not depend on the array layer).
+constexpr double kBytesPerElement = 8.0;
+
+/// Switch away from binomial only on a predicted win of at least this
+/// factor — the tuner's guard against model error making kAuto slower
+/// than the incumbent.
+constexpr double kSwitchMargin = 0.95;
+
+/// With no explicit message cap, the ring splits the block into about
+/// this many pieces per chain hop span so fill latency amortizes.
+constexpr std::int64_t kRingPipelineFactor = 2;
+
+/// Binomial-tree steps for the member at `pos` of the sub-group listed
+/// by `member_indices` (indices into `group`), appended to `out` in
+/// execution order: receives in ascending step order, then — for
+/// non-root members — one send. Reproduces Comm::reduce's historical
+/// loop exactly.
+void append_binomial(std::span<const int> member_indices, int pos,
+                     std::span<const int> group,
+                     std::vector<ReduceStep>& out) {
+  const int n = static_cast<int>(member_indices.size());
+  for (int step = 1; step < n; step <<= 1) {
+    if ((pos & step) != 0) {
+      out.push_back({ReduceStep::Kind::kSend,
+                     group[member_indices[pos - step]]});
+      return;
+    }
+    if (pos + step < n) {
+      out.push_back({ReduceStep::Kind::kRecvCombine,
+                     group[member_indices[pos + step]]});
+    }
+  }
+}
+
+std::vector<ReduceStep> two_level_steps(std::span<const int> group,
+                                        int me_index,
+                                        const Topology& topology) {
+  const int g = static_cast<int>(group.size());
+  // Order-preserving partition of group indices by machine node. On a
+  // flat topology every member lands in one node and the schedule below
+  // degenerates to plain binomial.
+  std::vector<int> node_ids;
+  std::vector<std::vector<int>> node_members;
+  int my_slot = -1;
+  int my_pos = -1;
+  for (int i = 0; i < g; ++i) {
+    const int node = topology.node_of(group[i]);
+    int slot = -1;
+    for (std::size_t k = 0; k < node_ids.size(); ++k) {
+      if (node_ids[k] == node) slot = static_cast<int>(k);
+    }
+    if (slot < 0) {
+      slot = static_cast<int>(node_ids.size());
+      node_ids.push_back(node);
+      node_members.emplace_back();
+    }
+    if (i == me_index) {
+      my_slot = slot;
+      my_pos = static_cast<int>(node_members[static_cast<std::size_t>(slot)]
+                                    .size());
+    }
+    node_members[static_cast<std::size_t>(slot)].push_back(i);
+  }
+  CUBIST_ASSERT(my_slot >= 0, "member not placed on a node");
+
+  std::vector<ReduceStep> out;
+  // Phase 1: binomial among this node's members onto the node leader
+  // (its first member in group order). Non-leaders end with their send
+  // and are done.
+  append_binomial(node_members[static_cast<std::size_t>(my_slot)], my_pos,
+                  group, out);
+  if (my_pos != 0) return out;
+  // Phase 2: binomial among the node leaders onto group[0] (the leader
+  // of the first node, because group index 0 is first in its node).
+  std::vector<int> leaders;
+  leaders.reserve(node_members.size());
+  for (const std::vector<int>& members : node_members) {
+    leaders.push_back(members.front());
+  }
+  append_binomial(leaders, my_slot, group, out);
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(ReduceAlgorithm algorithm) {
+  switch (algorithm) {
+    case ReduceAlgorithm::kAuto: return "auto";
+    case ReduceAlgorithm::kBinomial: return "binomial";
+    case ReduceAlgorithm::kRing: return "ring";
+    case ReduceAlgorithm::kTwoLevel: return "two-level";
+  }
+  return "?";
+}
+
+bool parse_reduce_algorithm(std::string_view name, ReduceAlgorithm* out) {
+  CUBIST_CHECK(out != nullptr, "null output");
+  if (name == "auto") *out = ReduceAlgorithm::kAuto;
+  else if (name == "binomial") *out = ReduceAlgorithm::kBinomial;
+  else if (name == "ring") *out = ReduceAlgorithm::kRing;
+  else if (name == "two-level" || name == "two_level")
+    *out = ReduceAlgorithm::kTwoLevel;
+  else return false;
+  return true;
+}
+
+std::vector<ReduceStep> reduce_chunk_steps(ReduceAlgorithm algorithm,
+                                           std::span<const int> group,
+                                           int me_index,
+                                           const Topology& topology) {
+  const int g = static_cast<int>(group.size());
+  CUBIST_CHECK(g >= 1, "empty reduction group");
+  CUBIST_CHECK(me_index >= 0 && me_index < g, "member index out of group");
+  if (g == 1) return {};
+  switch (algorithm) {
+    case ReduceAlgorithm::kAuto:
+      CUBIST_CHECK(false, "kAuto must be resolved before step generation");
+      return {};
+    case ReduceAlgorithm::kBinomial: {
+      std::vector<int> all(static_cast<std::size_t>(g));
+      for (int i = 0; i < g; ++i) all[static_cast<std::size_t>(i)] = i;
+      std::vector<ReduceStep> out;
+      append_binomial(all, me_index, group, out);
+      return out;
+    }
+    case ReduceAlgorithm::kRing: {
+      // Chain toward group[0]: the tail only sends, interior members
+      // fold one operand then forward, the head only folds.
+      std::vector<ReduceStep> out;
+      if (me_index == g - 1) {
+        out.push_back({ReduceStep::Kind::kSend, group[me_index - 1]});
+      } else if (me_index > 0) {
+        out.push_back({ReduceStep::Kind::kRecvCombine, group[me_index + 1]});
+        out.push_back({ReduceStep::Kind::kSend, group[me_index - 1]});
+      } else {
+        out.push_back({ReduceStep::Kind::kRecvCombine, group[1]});
+      }
+      return out;
+    }
+    case ReduceAlgorithm::kTwoLevel:
+      return two_level_steps(group, me_index, topology);
+  }
+  CUBIST_CHECK(false, "unknown reduce algorithm");
+  return {};
+}
+
+std::int64_t reduce_chunk_elements(ReduceAlgorithm algorithm,
+                                   std::int64_t total_elements,
+                                   int group_size,
+                                   std::int64_t max_message_elements) {
+  CUBIST_CHECK(total_elements >= 0, "negative block size");
+  CUBIST_CHECK(max_message_elements >= 0, "negative message cap");
+  if (max_message_elements != 0) return max_message_elements;
+  if (algorithm == ReduceAlgorithm::kRing && group_size > 1) {
+    const std::int64_t pieces =
+        kRingPipelineFactor * (static_cast<std::int64_t>(group_size) - 1);
+    return std::max<std::int64_t>(1,
+                                  (total_elements + pieces - 1) / pieces);
+  }
+  return total_elements == 0 ? 1 : total_elements;
+}
+
+double simulate_reduce_seconds(ReduceAlgorithm algorithm,
+                               std::span<const int> group,
+                               std::int64_t total_elements,
+                               std::int64_t max_message_elements,
+                               const CostModel& model, double density_hint,
+                               bool encode_wire) {
+  const int g = static_cast<int>(group.size());
+  if (g < 2 || total_elements == 0) return 0.0;
+  const std::int64_t piece = reduce_chunk_elements(
+      algorithm, total_elements, g, max_message_elements);
+  const double density = std::clamp(density_hint, 0.0, 1.0);
+  // The adaptive codec ships narrow integers for dense chunks (~0.5x)
+  // and run-skips identity cells for sparse ones; a clamped density is a
+  // good monotone proxy and is applied identically to every candidate.
+  const double wire_factor =
+      encode_wire ? std::clamp(density, 0.05, 0.5) : 1.0;
+
+  struct Op {
+    ReduceStep step;
+    std::int64_t count = 0;
+  };
+  std::vector<std::vector<Op>> program(static_cast<std::size_t>(g));
+  for (int i = 0; i < g; ++i) {
+    const std::vector<ReduceStep> steps =
+        reduce_chunk_steps(algorithm, group, i, model.topology);
+    for (std::int64_t offset = 0; offset < total_elements; offset += piece) {
+      const std::int64_t count = std::min(piece, total_elements - offset);
+      for (const ReduceStep& step : steps) {
+        program[static_cast<std::size_t>(i)].push_back({step, count});
+      }
+    }
+  }
+
+  // Deterministic replay under the runtime's charging rules: a send
+  // occupies the sender for overhead + wire transfer and arrives one
+  // link latency later; a receive waits for the arrival, then pays the
+  // combine at update_rate. Channels are FIFO per (src, dst), exactly
+  // like the transport.
+  std::vector<double> clock(static_cast<std::size_t>(g), 0.0);
+  std::vector<std::size_t> pc(static_cast<std::size_t>(g), 0);
+  std::map<std::pair<int, int>, std::deque<double>> arrivals;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (int i = 0; i < g; ++i) {
+      auto& ops = program[static_cast<std::size_t>(i)];
+      double& t = clock[static_cast<std::size_t>(i)];
+      while (pc[static_cast<std::size_t>(i)] < ops.size()) {
+        const Op& op = ops[pc[static_cast<std::size_t>(i)]];
+        const LinkCost link = model.link(group[i], op.step.peer);
+        if (op.step.kind == ReduceStep::Kind::kSend) {
+          const double wire_bytes =
+              static_cast<double>(op.count) * kBytesPerElement * wire_factor;
+          t += link.overhead + link.transfer_seconds(wire_bytes);
+          arrivals[{group[i], op.step.peer}].push_back(t + link.latency);
+        } else {
+          std::deque<double>& queue = arrivals[{op.step.peer, group[i]}];
+          if (queue.empty()) break;  // blocked on an in-flight message
+          t = std::max(t, queue.front());
+          queue.pop_front();
+          const double updates = static_cast<double>(op.count) * density;
+          t += model.seconds_for_updates(updates);
+        }
+        ++pc[static_cast<std::size_t>(i)];
+        progress = true;
+      }
+    }
+  }
+  for (int i = 0; i < g; ++i) {
+    CUBIST_ASSERT(pc[static_cast<std::size_t>(i)] ==
+                      program[static_cast<std::size_t>(i)].size(),
+                  "reduce schedule simulation deadlocked");
+  }
+  return *std::max_element(clock.begin(), clock.end());
+}
+
+ReduceAlgorithm choose_reduce_algorithm(std::span<const int> group,
+                                        std::int64_t total_elements,
+                                        std::int64_t max_message_elements,
+                                        const CostModel& model,
+                                        double density_hint,
+                                        bool encode_wire) {
+  const int g = static_cast<int>(group.size());
+  if (g < 2 || total_elements == 0) return ReduceAlgorithm::kBinomial;
+
+  const double binomial_seconds = simulate_reduce_seconds(
+      ReduceAlgorithm::kBinomial, group, total_elements,
+      max_message_elements, model, density_hint, encode_wire);
+
+  std::vector<ReduceAlgorithm> candidates;
+  if (g >= 3) candidates.push_back(ReduceAlgorithm::kRing);
+  if (model.topology.two_tier()) {
+    bool spans_nodes = false;
+    for (int rank : group) {
+      if (!model.topology.same_node(rank, group.front())) {
+        spans_nodes = true;
+        break;
+      }
+    }
+    if (spans_nodes) candidates.push_back(ReduceAlgorithm::kTwoLevel);
+  }
+
+  ReduceAlgorithm best = ReduceAlgorithm::kBinomial;
+  double best_seconds = binomial_seconds;
+  for (ReduceAlgorithm candidate : candidates) {
+    const double seconds = simulate_reduce_seconds(
+        candidate, group, total_elements, max_message_elements, model,
+        density_hint, encode_wire);
+    if (seconds < best_seconds && seconds < binomial_seconds * kSwitchMargin) {
+      best = candidate;
+      best_seconds = seconds;
+    }
+  }
+  return best;
+}
+
+ReduceAlgorithm resolve_reduce_algorithm(ReduceAlgorithm requested,
+                                         std::span<const int> group,
+                                         std::int64_t total_elements,
+                                         std::int64_t max_message_elements,
+                                         const CostModel& model,
+                                         double density_hint,
+                                         bool encode_wire) {
+  if (requested != ReduceAlgorithm::kAuto) return requested;
+  return choose_reduce_algorithm(group, total_elements, max_message_elements,
+                                 model, density_hint, encode_wire);
+}
+
+}  // namespace cubist

@@ -1,0 +1,124 @@
+// Collective registry + tuner for Comm::reduce.
+//
+// Three reduction schedules over the same volume contract, and a cost
+// tuner that picks between them per call:
+//
+//   kBinomial  the original chunk-pipelined binomial tree toward
+//              group[0]. Latency-optimal (ceil(log2 g) rounds on the
+//              critical path); the root folds ceil(log2 g) operands
+//              serially.
+//   kRing      a chunk-pipelined chain toward group[0] (member i
+//              receives from i+1, folds, forwards to i-1). Bandwidth-
+//              optimal at the root for large dense blocks: every member
+//              folds exactly one operand per chunk and the folds
+//              pipeline down the chain, at the price of g-1 hops of fill
+//              latency. (A ring reduce-scatter + allgather was rejected:
+//              it ships 2(g-1)/g of the block per member, which would
+//              break the Lemma-1 *equality* the verifier certifies.)
+//   kTwoLevel  hierarchical: binomial among the members on each machine
+//              node onto a node leader, then binomial among the leaders.
+//              On a two-tier topology this minimizes inter-node edges
+//              (one per node beyond the root's); on a flat topology it
+//              degenerates to kBinomial exactly.
+//
+// All three send exactly (group-1) * block elements per reduction — the
+// Lemma-1 dense volume — so the static verifier's per-view EQUALITY
+// check holds for whichever schedule the tuner picks. All receives are
+// fixed-source, so combine order is deterministic by construction and
+// the interleaving checker / HB auditor certify tuned schedules exactly
+// as they certify binomial.
+//
+// The generator below is the single source of truth for each schedule:
+// Comm::reduce executes it and analysis/comm_plan.cpp plans it, so plan
+// and runtime agree by construction, not by parallel maintenance.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "minimpi/cost_model.h"
+
+namespace cubist {
+
+enum class ReduceAlgorithm {
+  /// Tuner picks per call from the forced algorithms below.
+  kAuto,
+  kBinomial,
+  kRing,
+  kTwoLevel,
+};
+
+const char* to_string(ReduceAlgorithm algorithm);
+/// Parses "auto" / "binomial" / "ring" / "two-level" (also "two_level").
+/// Returns false (and leaves `out` alone) on anything else.
+bool parse_reduce_algorithm(std::string_view name, ReduceAlgorithm* out);
+
+/// One step of a member's per-chunk program, in execution order. A
+/// kRecvCombine receives from `peer` and folds the payload into the
+/// local chunk; a kSend ships the local chunk to `peer`. Every member
+/// except group[0] sends exactly once per chunk.
+struct ReduceStep {
+  enum class Kind { kSend, kRecvCombine };
+  Kind kind = Kind::kSend;
+  /// Peer RANK (not group index).
+  int peer = -1;
+
+  bool operator==(const ReduceStep&) const = default;
+};
+
+/// The per-chunk schedule of group member `me_index` (an index into
+/// `group`) under `algorithm` (must be forced, not kAuto). The same
+/// program runs for every chunk of the block.
+std::vector<ReduceStep> reduce_chunk_steps(ReduceAlgorithm algorithm,
+                                           std::span<const int> group,
+                                           int me_index,
+                                           const Topology& topology);
+
+/// Chunk size in elements for a block of `total_elements` reduced over
+/// `group_size` members. A non-zero `max_message_elements` always wins;
+/// with no cap, binomial and two-level ship the whole block per message
+/// while the ring auto-chunks to ~2(g-1) pieces so the chain actually
+/// pipelines (a whole-block chain would serialize g-1 full transfers).
+std::int64_t reduce_chunk_elements(ReduceAlgorithm algorithm,
+                                   std::int64_t total_elements,
+                                   int group_size,
+                                   std::int64_t max_message_elements);
+
+/// Predicted makespan of one reduction under `algorithm` (must be
+/// forced): a deterministic event-driven replay of the generated
+/// schedule under the same LogP charging rules as the runtime's virtual
+/// clock, with per-edge link costs from `model`. `density_hint` scales
+/// the estimated wire bytes (when `encode_wire`) and combine updates.
+double simulate_reduce_seconds(ReduceAlgorithm algorithm,
+                               std::span<const int> group,
+                               std::int64_t total_elements,
+                               std::int64_t max_message_elements,
+                               const CostModel& model, double density_hint,
+                               bool encode_wire);
+
+/// The tuner: cheapest predicted algorithm for this call. Binomial is
+/// the incumbent — an alternative is picked only when its predicted
+/// makespan beats binomial's by a safety margin, so `kAuto` never does
+/// worse than forced binomial by more than model error.
+ReduceAlgorithm choose_reduce_algorithm(std::span<const int> group,
+                                        std::int64_t total_elements,
+                                        std::int64_t max_message_elements,
+                                        const CostModel& model,
+                                        double density_hint,
+                                        bool encode_wire);
+
+/// `requested` itself when forced; the tuner's choice for kAuto. Both
+/// the runtime reduce and the static planner resolve through this exact
+/// function (on the same static inputs), which is what keeps the plan
+/// and the execution in lockstep.
+ReduceAlgorithm resolve_reduce_algorithm(ReduceAlgorithm requested,
+                                         std::span<const int> group,
+                                         std::int64_t total_elements,
+                                         std::int64_t max_message_elements,
+                                         const CostModel& model,
+                                         double density_hint,
+                                         bool encode_wire);
+
+}  // namespace cubist

@@ -44,18 +44,20 @@ void Comm::send_wire(int dst, std::uint64_t tag, std::int64_t logical_bytes,
   const auto wire_bytes = static_cast<std::int64_t>(payload.size());
   // Sender is occupied for the per-message overhead plus the injection of
   // what actually hits the link (the wire bytes); the receiver may consume
-  // the message one wire latency later.
-  clock_ += state_.model().overhead +
-            state_.model().transfer_seconds(static_cast<double>(wire_bytes));
+  // the message one wire latency later. Every cost is the EDGE's — an
+  // inter-node message pays the topology's expensive link class.
+  const LinkCost link = state_.model().link(rank_, dst);
+  clock_ +=
+      link.overhead + link.transfer_seconds(static_cast<double>(wire_bytes));
   Message message;
   message.payload = std::move(payload);
-  message.arrival_time = clock_ + state_.model().latency;
+  message.arrival_time = clock_ + link.latency;
   message.trace_seq =
       trace({TraceEventKind::kSend, dst, tag, logical_bytes});
   state_.ledger().record(tag, logical_bytes, wire_bytes);
   logical_bytes_sent_ += logical_bytes;
   wire_bytes_sent_ += wire_bytes;
-  state_.mailbox(dst).deliver(rank_, tag, std::move(message));
+  state_.transport().deliver(dst, rank_, tag, std::move(message));
 }
 
 void Comm::send_bytes(int dst, std::uint64_t tag,
@@ -67,7 +69,7 @@ void Comm::send_bytes(int dst, std::uint64_t tag,
 std::vector<std::byte> Comm::recv_bytes(int src, std::uint64_t tag) {
   CUBIST_CHECK(src >= 0 && src < size(), "bad source rank " << src);
   CUBIST_CHECK(src != rank_, "self-receive is not supported");
-  Message message = state_.mailbox(rank_).receive(src, tag);
+  Message message = state_.transport().receive(rank_, src, tag);
   clock_ = std::max(clock_, message.arrival_time);
   TraceEvent event{TraceEventKind::kRecv, src, tag,
                    static_cast<std::int64_t>(message.payload.size())};
@@ -78,7 +80,7 @@ std::vector<std::byte> Comm::recv_bytes(int src, std::uint64_t tag) {
 
 std::pair<int, std::vector<std::byte>> Comm::recv_wire_any(
     std::uint64_t tag, const std::function<bool(int)>& accept) {
-  auto [source, message] = state_.mailbox(rank_).receive_any(tag, accept);
+  auto [source, message] = state_.transport().receive_any(rank_, tag, accept);
   clock_ = std::max(clock_, message.arrival_time);
   TraceEvent event{TraceEventKind::kRecvAny, source, tag,
                    static_cast<std::int64_t>(message.payload.size())};
@@ -117,39 +119,43 @@ void Comm::reduce(std::span<const int> group, DenseArray& data,
   const std::int64_t total = data.size();
   // Zero-size blocks (and singleton groups) never touch the wire.
   if (total == 0 || g == 1) return;
-  const std::int64_t piece =
-      options.max_message_elements == 0 ? total : options.max_message_elements;
+  // Resolve the schedule (kAuto through the cost tuner) on static inputs
+  // only, so analysis/comm_plan.cpp resolves to the identical choice.
+  const ReduceAlgorithm algorithm = resolve_reduce_algorithm(
+      options.algorithm, group, total, options.max_message_elements,
+      state_.model(), options.density_hint, options.wire.enabled);
+  const std::int64_t piece = reduce_chunk_elements(
+      algorithm, total, g, options.max_message_elements);
+  const std::vector<ReduceStep> steps =
+      reduce_chunk_steps(algorithm, group, me, state_.model().topology);
 
-  // Chunk-outer pipeline over the binomial tree toward group[0]: each
-  // chunk runs its full schedule (receive from below in ascending step
-  // order, then — for interior members — ship upward) before the next
-  // chunk starts, so a member forwards chunk i while chunk i+1 is still in
-  // flight from its children. Per destination cell the combine order is
-  // the step order, exactly as a round-outer whole-block reduction — the
-  // chunking is invisible in the output bits.
+  // Chunk-outer pipeline: each chunk runs its full schedule (fold from
+  // below, then — for non-root members — ship upward) before the next
+  // chunk starts, so a member forwards chunk i while chunk i+1 is still
+  // in flight from its children. Per destination cell the combine order
+  // is the schedule's fixed step order, identical for every chunk size —
+  // the chunking is invisible in the output bits.
   for (std::int64_t offset = 0; offset < total; offset += piece) {
     const std::int64_t count = std::min(piece, total - offset);
     const std::span<Value> chunk(data.data() + offset,
                                  static_cast<std::size_t>(count));
     if (options.fault == ReduceOptions::Fault::kArrivalOrderCombine) {
+      // The fault path exists to exercise the HB auditor on the classic
+      // arrival-order bug; it is defined over the binomial children.
       reduce_chunk_arrival_order(group, me, chunk, tag, op, options);
       continue;
     }
-    for (int step = 1; step < g; step <<= 1) {
-      if ((me & step) != 0) {
-        send_wire(group[me - step], tag,
+    for (const ReduceStep& step : steps) {
+      if (step.kind == ReduceStep::Kind::kSend) {
+        send_wire(step.peer, tag,
                   count * static_cast<std::int64_t>(sizeof(Value)),
                   encode_chunk(chunk, op, options.wire));
-        break;  // this member is done with this chunk; on to the next
-      }
-      if (me + step < g) {
-        const std::vector<std::byte> payload =
-            recv_bytes(group[me + step], tag);
+      } else {
+        const std::vector<std::byte> payload = recv_bytes(step.peer, tag);
         const std::int64_t updates =
             combine_chunk(op, chunk, payload, options.combine_pool,
                           options.combine_workers);
-        TraceEvent combined{TraceEventKind::kCombine, group[me + step], tag,
-                            count};
+        TraceEvent combined{TraceEventKind::kCombine, step.peer, tag, count};
         combined.operand_seq = last_recv_seq_;
         trace(combined);
         // Charge the combine to the receiver's clock: one op per combined

@@ -16,6 +16,7 @@
 #include "array/aggregate_op.h"
 #include "array/dense_array.h"
 #include "array/wire_codec.h"
+#include "minimpi/collectives.h"
 #include "minimpi/cost_model.h"
 #include "minimpi/event_trace.h"
 
@@ -25,11 +26,23 @@ class RuntimeState;
 class ThreadPool;
 
 /// Knobs of one pipelined reduction (see docs/PERFORMANCE.md,
-/// "Communication engine").
+/// "Communication engine" and "Collective selection & topology").
 struct ReduceOptions {
-  /// Chunk size in elements (0 = whole block per message). Smaller chunks
-  /// trade more messages (latency/overhead) for finer pipelining — the
-  /// communication-frequency knob studied in the authors' companion work.
+  /// Reduction schedule (minimpi/collectives.h). kBinomial is the
+  /// compatibility default for direct Comm users; kAuto asks the cost
+  /// tuner to pick per call from (block size, group, density hint,
+  /// topology). The choice never changes the result bits or the shipped
+  /// volume — only the schedule.
+  ReduceAlgorithm algorithm = ReduceAlgorithm::kBinomial;
+  /// Static non-identity-fraction hint for the kAuto tuner's wire and
+  /// combine estimates. Deliberately NOT measured at runtime so the
+  /// static planner resolves kAuto to the identical schedule.
+  double density_hint = 1.0;
+  /// Chunk size in elements (0 = whole block per message; the ring
+  /// auto-chunks in that case — see reduce_chunk_elements). Smaller
+  /// chunks trade more messages (latency/overhead) for finer pipelining
+  /// — the communication-frequency knob studied in the authors'
+  /// companion work.
   std::int64_t max_message_elements = 0;
   /// Adaptive payload encoding; wire.enabled = false ships raw Values and
   /// makes wire bytes equal logical bytes exactly.
@@ -91,11 +104,13 @@ class Comm {
 
   // --- collectives (implemented over send/recv, so volume is counted) ---
 
-  /// Chunk-pipelined binomial-tree reduction of `data` over `group` (a
-  /// list of ranks containing this rank; group.size() need not be a power
-  /// of two). On return, group[0] holds the elementwise combination under
-  /// `op`; other members' arrays hold partials and should be considered
-  /// consumed.
+  /// Chunk-pipelined reduction of `data` over `group` (a list of ranks
+  /// containing this rank; group.size() need not be a power of two)
+  /// under `options.algorithm` — binomial tree, pipelined ring/chain, or
+  /// two-level hierarchical, all toward group[0] (minimpi/collectives.h;
+  /// kAuto lets the cost tuner pick). On return, group[0] holds the
+  /// elementwise combination under `op`; other members' arrays hold
+  /// partials and should be considered consumed.
   ///
   /// The block is split into chunks of `options.max_message_elements` and
   /// each chunk runs the whole binomial schedule before the next chunk
@@ -106,9 +121,10 @@ class Comm {
   /// `options.wire`; the ledger records logical and wire bytes per
   /// message, and the clock charges the transfer at wire size.
   ///
-  /// Determinism: per destination cell the combine order is the binomial
-  /// step order, identical for every chunk size, encoding choice, and
-  /// combine pool — the output bits never depend on the knobs.
+  /// Determinism: every receive is fixed-source, so per destination cell
+  /// the combine order is the chosen schedule's step order, identical
+  /// for every chunk size, encoding choice, and combine pool — the
+  /// output bits never depend on the knobs.
   ///
   /// Zero-size blocks return immediately without touching the wire.
   void reduce(std::span<const int> group, DenseArray& data, std::uint64_t tag,

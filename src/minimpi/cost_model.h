@@ -16,7 +16,16 @@
 // Transfer seconds are charged on the bytes that actually hit the link
 // (the encoded wire size, <= the dense payload), and per-message
 // `overhead` is what penalizes over-fine chunking.
+//
+// Topology: the flat fields below price an intra-node (or flat-cluster)
+// link; when `topology` maps ranks onto nodes, edges that cross a node
+// boundary are priced by `topology.inter` instead. `link(a, b)` is the
+// per-edge lookup every send and every tuner estimate goes through.
 #pragma once
+
+#include <algorithm>
+
+#include "minimpi/topology.h"
 
 namespace cubist {
 
@@ -36,12 +45,34 @@ struct CostModel {
   double overhead = 0.0;
   /// Link bandwidth in bytes/second (Myrinet-class).
   double bandwidth = 100e6;
+  /// Rank-to-node mapping plus the inter-node link class. Flat by
+  /// default, which makes every edge use the fields above exactly as
+  /// before the topology existed.
+  Topology topology;
 
   double seconds_for_updates(double updates) const {
     return updates / update_rate;
   }
   double seconds_for_scan(double cells) const { return cells / scan_rate; }
   double transfer_seconds(double bytes) const { return bytes / bandwidth; }
+
+  /// The flat fields as a link class (every intra-node edge).
+  LinkCost intra_link() const { return {latency, overhead, bandwidth}; }
+
+  /// Cost of the edge between ranks `a` and `b`.
+  LinkCost link(int a, int b) const {
+    if (topology.two_tier() && !topology.same_node(a, b)) {
+      return topology.inter;
+    }
+    return intra_link();
+  }
+
+  /// Worst-case per-message latency over all edges (what a barrier's
+  /// synchronization rounds must assume).
+  double max_latency() const {
+    return topology.two_tier() ? std::max(latency, topology.inter.latency)
+                               : latency;
+  }
 };
 
 }  // namespace cubist

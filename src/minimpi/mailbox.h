@@ -1,40 +1,26 @@
-// Mailbox: the per-rank message store of the minimpi transport.
+// Mailbox: the per-rank message store of the in-process transport
+// adaptor (minimpi/transport.cpp).
 //
 // Messages are matched MPI-style by (source rank, tag), FIFO within a
 // match. Receives block until a matching message arrives or the runtime
 // aborts (a sibling rank threw), in which case AbortedError unblocks every
-// waiter so the process can shut down instead of deadlocking.
+// waiter so the process can shut down instead of deadlocking. Nothing
+// outside the mailbox transport adaptor may use this class directly —
+// runtime code goes through the Transport interface (tools/lint.py
+// enforces the boundary).
 #pragma once
 
 #include <condition_variable>
-#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <mutex>
-#include <stdexcept>
 #include <utility>
-#include <vector>
+
+#include "minimpi/transport.h"
 
 namespace cubist {
-
-/// Thrown from blocking calls when another rank aborted the run.
-class AbortedError : public std::runtime_error {
- public:
-  AbortedError() : std::runtime_error("minimpi run aborted by another rank") {}
-};
-
-/// A message in flight. `arrival_time` is the virtual time at which the
-/// receiver may consume it (sender clock at send + latency + transfer).
-/// `trace_seq` is the sender-side event-trace index of the send when the
-/// runtime records traces (see minimpi/event_trace.h), so the matching
-/// receive can record exactly which send it consumed.
-struct Message {
-  std::vector<std::byte> payload;
-  double arrival_time = 0.0;
-  std::uint64_t trace_seq = ~std::uint64_t{0};
-};
 
 class Mailbox {
  public:

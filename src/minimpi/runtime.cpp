@@ -15,10 +15,18 @@ namespace cubist {
 RunReport Runtime::run(int num_ranks, const CostModel& model,
                        const std::function<void(Comm&)>& fn,
                        bool record_trace) {
+  return run(num_ranks, model, fn, record_trace, nullptr);
+}
+
+RunReport Runtime::run(int num_ranks, const CostModel& model,
+                       const std::function<void(Comm&)>& fn,
+                       bool record_trace,
+                       const TransportFactory& make_transport) {
   CUBIST_CHECK(num_ranks >= 1, "need at least one rank");
   CUBIST_CHECK(fn != nullptr, "null rank function");
 
-  RuntimeState state(num_ranks, model, record_trace);
+  RuntimeState state(num_ranks, model, record_trace,
+                     make_transport ? make_transport(num_ranks) : nullptr);
   std::vector<double> rank_seconds(static_cast<std::size_t>(num_ranks), 0.0);
 
   // The SPMD rank threads all share the process-wide ThreadPool for their

@@ -13,6 +13,7 @@
 #include "minimpi/cost_model.h"
 #include "minimpi/event_trace.h"
 #include "minimpi/ledger.h"
+#include "minimpi/transport.h"
 
 namespace cubist {
 
@@ -42,6 +43,13 @@ class Runtime {
   static RunReport run(int num_ranks, const CostModel& model,
                        const std::function<void(Comm&)>& fn,
                        bool record_trace = false);
+
+  /// run() over an injected transport adaptor (null factory = the default
+  /// in-process mailbox transport). The factory is called once per run.
+  static RunReport run(int num_ranks, const CostModel& model,
+                       const std::function<void(Comm&)>& fn,
+                       bool record_trace,
+                       const TransportFactory& make_transport);
 };
 
 }  // namespace cubist

@@ -1,7 +1,9 @@
 // RuntimeState: the shared (runtime-internal) state behind Comm.
 //
-// Only the transport and synchronization primitives live here; rank
-// programs never touch it directly, preserving the shared-nothing model.
+// Only the transport adaptor and synchronization primitives live here;
+// rank programs never touch it directly, preserving the shared-nothing
+// model. The transport is injected (Runtime::run's TransportFactory) and
+// defaults to the in-process mailbox adaptor.
 #pragma once
 
 #include <algorithm>
@@ -14,26 +16,25 @@
 #include "minimpi/cost_model.h"
 #include "minimpi/event_trace.h"
 #include "minimpi/ledger.h"
-#include "minimpi/mailbox.h"
+#include "minimpi/transport.h"
 
 namespace cubist {
 
 class RuntimeState {
  public:
-  RuntimeState(int size, CostModel model, bool record_trace = false)
-      : size_(size), model_(model), tracing_(record_trace) {
-    mailboxes_.reserve(static_cast<std::size_t>(size));
-    for (int r = 0; r < size; ++r) {
-      mailboxes_.push_back(std::make_unique<Mailbox>());
-    }
+  RuntimeState(int size, CostModel model, bool record_trace = false,
+               std::unique_ptr<Transport> transport = nullptr)
+      : size_(size),
+        model_(model),
+        tracing_(record_trace),
+        transport_(transport ? std::move(transport)
+                             : make_mailbox_transport(size)) {
     if (tracing_) trace_.ranks.resize(static_cast<std::size_t>(size));
   }
 
   int size() const { return size_; }
   const CostModel& model() const { return model_; }
-  Mailbox& mailbox(int rank) {
-    return *mailboxes_[static_cast<std::size_t>(rank)];
-  }
+  Transport& transport() { return *transport_; }
   VolumeLedger& ledger() { return ledger_; }
 
   // --- event tracing (for the happens-before auditor) ---
@@ -53,17 +54,15 @@ class RuntimeState {
 
   void abort_all() {
     aborted_.store(true);
-    for (auto& mailbox : mailboxes_) {
-      mailbox->abort();
-    }
+    transport_->abort();
     // Unblock barrier waiters too.
     barrier_cv_.notify_all();
   }
   bool aborted() const { return aborted_.load(); }
 
   /// Generation barrier that also synchronizes virtual clocks: every
-  /// participant's clock becomes max(clocks) + latency * ceil(log2(p)).
-  /// Returns the released clock value.
+  /// participant's clock becomes max(clocks) + worst-edge latency *
+  /// ceil(log2(p)). Returns the released clock value.
   double barrier(double clock) {
     std::unique_lock lock(barrier_mutex_);
     const long my_generation = barrier_generation_;
@@ -72,7 +71,7 @@ class RuntimeState {
       int rounds = 0;
       while ((1 << rounds) < size_) ++rounds;
       barrier_release_clock_ =
-          barrier_max_clock_ + model_.latency * rounds;
+          barrier_max_clock_ + model_.max_latency() * rounds;
       barrier_arrived_ = 0;
       barrier_max_clock_ = 0.0;
       ++barrier_generation_;
@@ -90,7 +89,7 @@ class RuntimeState {
   int size_;
   CostModel model_;
   const bool tracing_;
-  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::unique_ptr<Transport> transport_;
   EventTrace trace_;
   VolumeLedger ledger_;
   std::atomic<bool> aborted_{false};

@@ -1,0 +1,52 @@
+// Two-tier machine topology for the virtual-clock cost model.
+//
+// The paper's cluster is flat — every pair of processors talks over the
+// same Myrinet link — but the systems this reproduction grows toward
+// (multi-node clusters, datacenter pods) are not: ranks within a "node"
+// share a cheap link (shared memory, intra-rack), ranks on different
+// nodes pay an expensive one. A Topology maps ranks to nodes by fixed
+// blocks and gives every edge its own LinkCost, so the collective tuner
+// (minimpi/collectives.h) and the LogP virtual clock can price a message
+// by the link it actually crosses.
+#pragma once
+
+namespace cubist {
+
+/// LogP parameters of one link class: per-message latency (overlappable),
+/// per-message CPU overhead (not overlappable) and bandwidth.
+struct LinkCost {
+  double latency = 20e-6;
+  double overhead = 0.0;
+  double bandwidth = 100e6;
+
+  double transfer_seconds(double bytes) const { return bytes / bandwidth; }
+
+  bool operator==(const LinkCost&) const = default;
+};
+
+/// Rank-to-node mapping plus the inter-node link class. Flat by default
+/// (ranks_per_node == 0): every rank shares one node and every edge uses
+/// the CostModel's intra-node parameters, which reproduces the paper's
+/// single-switch cluster exactly.
+struct Topology {
+  /// Consecutive ranks per node (blocked placement, the MPI default).
+  /// 0 = flat topology; the last node may be smaller when the rank count
+  /// is not a multiple.
+  int ranks_per_node = 0;
+  /// Link cost charged on edges that cross a node boundary. Ignored when
+  /// flat.
+  LinkCost inter;
+
+  bool two_tier() const { return ranks_per_node > 0; }
+
+  /// Node that owns `rank` (0 for every rank when flat).
+  int node_of(int rank) const {
+    return two_tier() ? rank / ranks_per_node : 0;
+  }
+
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  bool operator==(const Topology&) const = default;
+};
+
+}  // namespace cubist

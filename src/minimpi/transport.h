@@ -1,0 +1,80 @@
+// Transport: the message-moving adaptor under the minimpi runtime.
+//
+// Comm and RuntimeState speak only this interface; HOW a message gets
+// from rank to rank is an adaptor detail. The default adaptor is the
+// original in-process mailbox (make_mailbox_transport), and the seam is
+// what makes other backends — shared-memory rings, sockets, a recording
+// fake for tests — pluggable without touching the collectives, the
+// ledger or the verifier (see DESIGN.md, "Transport adaptor").
+//
+// Contract every adaptor must honor (the verifier and model checker
+// assume it):
+//   * per (source, destination, tag) channel delivery is FIFO;
+//   * receive blocks until a match or abort() (then throws AbortedError);
+//   * receive_any returns the queued match with the earliest virtual
+//     arrival time, ties toward the lowest source rank;
+//   * abort() wakes every blocked receiver, permanently.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace cubist {
+
+/// Thrown from blocking calls when another rank aborted the run.
+class AbortedError : public std::runtime_error {
+ public:
+  AbortedError() : std::runtime_error("minimpi run aborted by another rank") {}
+};
+
+/// A message in flight. `arrival_time` is the virtual time at which the
+/// receiver may consume it (sender clock at send + latency + transfer).
+/// `trace_seq` is the sender-side event-trace index of the send when the
+/// runtime records traces (see minimpi/event_trace.h), so the matching
+/// receive can record exactly which send it consumed.
+struct Message {
+  std::vector<std::byte> payload;
+  double arrival_time = 0.0;
+  std::uint64_t trace_seq = ~std::uint64_t{0};
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Adaptor name for reports ("mailbox", ...).
+  virtual const char* name() const = 0;
+
+  /// Enqueues `message` on the (src, dst, tag) channel. Never blocks.
+  virtual void deliver(int dst, int src, std::uint64_t tag,
+                       Message message) = 0;
+
+  /// Blocks `rank` until a message from `src` with `tag` is available.
+  virtual Message receive(int rank, int src, std::uint64_t tag) = 0;
+
+  /// Blocks `rank` until a message with `tag` from ANY source admitted by
+  /// `accept_source` (null = all) is available; returns the one with the
+  /// earliest virtual arrival. Returns (source, message).
+  virtual std::pair<int, Message> receive_any(
+      int rank, std::uint64_t tag,
+      const std::function<bool(int)>& accept_source) = 0;
+
+  /// Wakes every blocked receiver with AbortedError, permanently.
+  virtual void abort() = 0;
+};
+
+/// The default in-process adaptor: one mailbox per rank, messages matched
+/// MPI-style by (source, tag), FIFO within a match.
+std::unique_ptr<Transport> make_mailbox_transport(int num_ranks);
+
+/// Builds the transport for a run of `num_ranks` ranks (Runtime::run's
+/// injection point for custom adaptors).
+using TransportFactory =
+    std::function<std::unique_ptr<Transport>(int num_ranks)>;
+
+}  // namespace cubist

@@ -1,7 +1,12 @@
 // The communication engine's determinism contract, end to end: the cube's
-// output BITS are identical across {wire encoding on/off} x {chunk size}
-// x {combine pool size}. Every knob of the pipelined reduction engine is
-// a pure performance knob.
+// output BITS are identical across {reduction algorithm} x {wire encoding
+// on/off} x {chunk size} x {combine pool size} x {topology}. Every knob
+// of the pipelined reduction engine — including which collective schedule
+// the tuner picks — is a pure performance knob.
+//
+// The generators emit integer values (1..9), so every fold order sums
+// exactly in doubles and bit-identity across *different* schedules is a
+// meaningful contract, not a float-ordering accident.
 #include <gtest/gtest.h>
 
 #include <cstring>
@@ -41,15 +46,18 @@ BlockProvider provider_of(const SparseSpec& spec) {
 }
 
 CubeResult build_with(const SparseSpec& spec, const std::vector<int>& splits,
-                      bool encode, std::int64_t chunk, ThreadPool* pool) {
+                      bool encode, std::int64_t chunk, ThreadPool* pool,
+                      ReduceAlgorithm algorithm = ReduceAlgorithm::kBinomial,
+                      const CostModel& model = {}) {
   ParallelOptions options;
+  options.reduce_algorithm = algorithm;
+  options.reduce_density_hint = spec.density;
   options.encode_wire = encode;
   options.reduce_message_elements = chunk;
   options.pool = pool;
   options.verify_schedule = true;
   options.audit_volume = true;
-  auto report = run_parallel_cube(spec.sizes, splits, CostModel{},
-                                  provider_of(spec),
+  auto report = run_parallel_cube(spec.sizes, splits, model, provider_of(spec),
                                   /*collect_result=*/true, options);
   EXPECT_LE(report.construction_wire_bytes, report.construction_bytes);
   if (!encode) {
@@ -88,6 +96,44 @@ TEST_P(CommDeterminismTest, OutputBitsInvariantAcrossEngineKnobs) {
 
 INSTANTIATE_TEST_SUITE_P(Densities, CommDeterminismTest,
                          ::testing::Values(0.02, 0.25, 1.0));
+
+TEST(CommDeterminismTest, OutputBitsInvariantAcrossReduceAlgorithms) {
+  // The full matrix of the collective registry: algorithm x encoding x
+  // pool size, on a flat and a two-tier topology, against the sequential
+  // reference. Group sizes 4 (dim 0) and 2 (dim 1) exercise binomial
+  // interior nodes, ring interior links, and two-level leader phases.
+  SparseSpec spec;
+  spec.sizes = {16, 12, 8};
+  spec.density = 0.25;
+  spec.seed = 31;
+  const std::vector<int> splits = {2, 1, 0};  // 8 ranks
+  const CubeResult reference =
+      build_cube_sequential(generate_sparse_global(spec));
+
+  CostModel two_tier;
+  two_tier.topology.ranks_per_node = 3;
+  two_tier.topology.inter.latency = 1e-3;
+  two_tier.topology.inter.bandwidth = 10e6;
+  const int hw = ThreadPool::configured_threads();
+  for (const CostModel& model : {CostModel{}, two_tier}) {
+    for (ReduceAlgorithm algorithm :
+         {ReduceAlgorithm::kBinomial, ReduceAlgorithm::kRing,
+          ReduceAlgorithm::kTwoLevel, ReduceAlgorithm::kAuto}) {
+      for (bool encode : {false, true}) {
+        for (int threads : {1, hw > 1 ? hw : 4}) {
+          ThreadPool pool(threads);
+          const CubeResult cube = build_with(spec, splits, encode,
+                                             /*chunk=*/0, &pool, algorithm,
+                                             model);
+          EXPECT_EQ(compare_cubes(reference, cube), "")
+              << to_string(algorithm) << " encode=" << encode
+              << " threads=" << threads
+              << (model.topology.two_tier() ? " two-tier" : " flat");
+        }
+      }
+    }
+  }
+}
 
 TEST(CommDeterminismTest, EncodedRunMatchesReferenceCube) {
   // Not just self-consistent: the encoded parallel cube equals the

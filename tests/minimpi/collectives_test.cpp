@@ -1,0 +1,326 @@
+#include "minimpi/collectives.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "array/dense_array.h"
+#include "common/error.h"
+#include "minimpi/runtime.h"
+
+namespace cubist {
+namespace {
+
+using Kind = ReduceStep::Kind;
+
+std::vector<int> iota_group(int g, int first = 0) {
+  std::vector<int> group(static_cast<std::size_t>(g));
+  std::iota(group.begin(), group.end(), first);
+  return group;
+}
+
+TEST(CollectivesTest, ToStringParseRoundTrip) {
+  for (ReduceAlgorithm algorithm :
+       {ReduceAlgorithm::kAuto, ReduceAlgorithm::kBinomial,
+        ReduceAlgorithm::kRing, ReduceAlgorithm::kTwoLevel}) {
+    ReduceAlgorithm parsed = ReduceAlgorithm::kAuto;
+    ASSERT_TRUE(parse_reduce_algorithm(to_string(algorithm), &parsed));
+    EXPECT_EQ(parsed, algorithm);
+  }
+  ReduceAlgorithm parsed = ReduceAlgorithm::kAuto;
+  EXPECT_TRUE(parse_reduce_algorithm("two_level", &parsed));
+  EXPECT_EQ(parsed, ReduceAlgorithm::kTwoLevel);
+  EXPECT_FALSE(parse_reduce_algorithm("bittersweet", &parsed));
+  EXPECT_FALSE(parse_reduce_algorithm("", &parsed));
+}
+
+TEST(CollectivesTest, BinomialMatchesHistoricalSchedule) {
+  // Non-contiguous ranks prove peers are ranks, not group indices.
+  const std::vector<int> group{10, 11, 12, 13, 14, 15, 16, 17};
+  const Topology flat;
+  using Steps = std::vector<ReduceStep>;
+  const std::map<int, Steps> expected{
+      {0, {{Kind::kRecvCombine, 11}, {Kind::kRecvCombine, 12},
+           {Kind::kRecvCombine, 14}}},
+      {1, {{Kind::kSend, 10}}},
+      {2, {{Kind::kRecvCombine, 13}, {Kind::kSend, 10}}},
+      {3, {{Kind::kSend, 12}}},
+      {4, {{Kind::kRecvCombine, 15}, {Kind::kRecvCombine, 16},
+           {Kind::kSend, 10}}},
+      {5, {{Kind::kSend, 14}}},
+      {6, {{Kind::kRecvCombine, 17}, {Kind::kSend, 14}}},
+      {7, {{Kind::kSend, 16}}},
+  };
+  for (const auto& [me, steps] : expected) {
+    EXPECT_EQ(reduce_chunk_steps(ReduceAlgorithm::kBinomial, group, me, flat),
+              steps)
+        << "member " << me;
+  }
+}
+
+TEST(CollectivesTest, RingIsAChainTowardGroupFront) {
+  const std::vector<int> group{20, 21, 22, 23, 24};
+  const Topology flat;
+  using Steps = std::vector<ReduceStep>;
+  EXPECT_EQ(reduce_chunk_steps(ReduceAlgorithm::kRing, group, 4, flat),
+            (Steps{{Kind::kSend, 23}}));
+  EXPECT_EQ(reduce_chunk_steps(ReduceAlgorithm::kRing, group, 2, flat),
+            (Steps{{Kind::kRecvCombine, 23}, {Kind::kSend, 21}}));
+  EXPECT_EQ(reduce_chunk_steps(ReduceAlgorithm::kRing, group, 0, flat),
+            (Steps{{Kind::kRecvCombine, 21}}));
+}
+
+TEST(CollectivesTest, TwoLevelDegeneratesToBinomialOnFlatTopology) {
+  const Topology flat;
+  for (int g = 2; g <= 9; ++g) {
+    const std::vector<int> group = iota_group(g, 40);
+    for (int me = 0; me < g; ++me) {
+      EXPECT_EQ(
+          reduce_chunk_steps(ReduceAlgorithm::kTwoLevel, group, me, flat),
+          reduce_chunk_steps(ReduceAlgorithm::kBinomial, group, me, flat))
+          << "g=" << g << " member " << me;
+    }
+  }
+}
+
+TEST(CollectivesTest, TwoLevelCombinesAtNodeLeadersThenAcrossNodes) {
+  Topology topology;
+  topology.ranks_per_node = 3;  // nodes {0,1,2} {3,4,5} {6,7}
+  const std::vector<int> group = iota_group(8);
+  using Steps = std::vector<ReduceStep>;
+  // Root: folds its node (1, 2), then the other node leaders (3, 6).
+  EXPECT_EQ(reduce_chunk_steps(ReduceAlgorithm::kTwoLevel, group, 0, topology),
+            (Steps{{Kind::kRecvCombine, 1}, {Kind::kRecvCombine, 2},
+                   {Kind::kRecvCombine, 3}, {Kind::kRecvCombine, 6}}));
+  // Node leaders: fold their node, then ship one inter-node message.
+  EXPECT_EQ(reduce_chunk_steps(ReduceAlgorithm::kTwoLevel, group, 3, topology),
+            (Steps{{Kind::kRecvCombine, 4}, {Kind::kRecvCombine, 5},
+                   {Kind::kSend, 0}}));
+  EXPECT_EQ(reduce_chunk_steps(ReduceAlgorithm::kTwoLevel, group, 6, topology),
+            (Steps{{Kind::kRecvCombine, 7}, {Kind::kSend, 0}}));
+  // Non-leaders never cross a node boundary.
+  EXPECT_EQ(reduce_chunk_steps(ReduceAlgorithm::kTwoLevel, group, 4, topology),
+            (Steps{{Kind::kSend, 3}}));
+  EXPECT_EQ(reduce_chunk_steps(ReduceAlgorithm::kTwoLevel, group, 7, topology),
+            (Steps{{Kind::kSend, 6}}));
+}
+
+TEST(CollectivesTest, TwoLevelHandlesScatteredGroups) {
+  Topology topology;
+  topology.ranks_per_node = 4;  // ranks 1,3 on node 0; 5,7 on node 1
+  const std::vector<int> group{1, 5, 3, 7};
+  using Steps = std::vector<ReduceStep>;
+  EXPECT_EQ(reduce_chunk_steps(ReduceAlgorithm::kTwoLevel, group, 0, topology),
+            (Steps{{Kind::kRecvCombine, 3}, {Kind::kRecvCombine, 5}}));
+  EXPECT_EQ(reduce_chunk_steps(ReduceAlgorithm::kTwoLevel, group, 1, topology),
+            (Steps{{Kind::kRecvCombine, 7}, {Kind::kSend, 1}}));
+  EXPECT_EQ(reduce_chunk_steps(ReduceAlgorithm::kTwoLevel, group, 2, topology),
+            (Steps{{Kind::kSend, 1}}));
+  EXPECT_EQ(reduce_chunk_steps(ReduceAlgorithm::kTwoLevel, group, 3, topology),
+            (Steps{{Kind::kSend, 5}}));
+}
+
+/// Lemma-1 volume contract: under every algorithm and topology, every
+/// member except group[0] sends exactly once per chunk (so the reduction
+/// ships exactly (g-1) * block elements), and every send has a matching
+/// fixed-source receive.
+TEST(CollectivesTest, EveryAlgorithmSendsGroupMinusOnePerChunk) {
+  Topology two_tier;
+  two_tier.ranks_per_node = 3;
+  for (const Topology& topology : {Topology{}, two_tier}) {
+    for (ReduceAlgorithm algorithm :
+         {ReduceAlgorithm::kBinomial, ReduceAlgorithm::kRing,
+          ReduceAlgorithm::kTwoLevel}) {
+      for (int g = 1; g <= 9; ++g) {
+        const std::vector<int> group = iota_group(g);
+        std::multimap<int, int> sends;     // (from, to)
+        std::multimap<int, int> receives;  // (from, to)
+        for (int me = 0; me < g; ++me) {
+          int my_sends = 0;
+          for (const ReduceStep& step :
+               reduce_chunk_steps(algorithm, group, me, topology)) {
+            ASSERT_GE(step.peer, 0);
+            ASSERT_LT(step.peer, g);
+            ASSERT_NE(step.peer, group[static_cast<std::size_t>(me)]);
+            if (step.kind == Kind::kSend) {
+              ++my_sends;
+              sends.emplace(group[static_cast<std::size_t>(me)], step.peer);
+            } else {
+              receives.emplace(step.peer,
+                               group[static_cast<std::size_t>(me)]);
+            }
+          }
+          EXPECT_EQ(my_sends, me == 0 ? 0 : 1)
+              << to_string(algorithm) << " g=" << g << " member " << me;
+        }
+        EXPECT_EQ(static_cast<int>(sends.size()), g - 1);
+        EXPECT_EQ(sends, receives)
+            << to_string(algorithm) << " g=" << g
+            << ": a send without a matching fixed-source receive";
+      }
+    }
+  }
+}
+
+TEST(CollectivesTest, ChunkRuleCapWinsRingAutoPipelines) {
+  // An explicit cap always wins.
+  EXPECT_EQ(reduce_chunk_elements(ReduceAlgorithm::kRing, 1000, 8, 64), 64);
+  EXPECT_EQ(reduce_chunk_elements(ReduceAlgorithm::kBinomial, 1000, 8, 64),
+            64);
+  // Uncapped: binomial and two-level ship the whole block...
+  EXPECT_EQ(reduce_chunk_elements(ReduceAlgorithm::kBinomial, 1000, 8, 0),
+            1000);
+  EXPECT_EQ(reduce_chunk_elements(ReduceAlgorithm::kTwoLevel, 1000, 8, 0),
+            1000);
+  // ...while the ring auto-chunks to ~2(g-1) pieces so the chain pipelines.
+  EXPECT_EQ(reduce_chunk_elements(ReduceAlgorithm::kRing, 1400, 8, 0), 100);
+  EXPECT_GE(reduce_chunk_elements(ReduceAlgorithm::kRing, 5, 8, 0), 1);
+  EXPECT_EQ(reduce_chunk_elements(ReduceAlgorithm::kBinomial, 0, 8, 0), 1);
+}
+
+// --- per-edge cost lookup ---
+
+CostModel paper_like_model() {
+  CostModel model;
+  model.update_rate = 1.1e6;
+  model.scan_rate = 1.1e6;
+  model.latency = 1e-4;
+  model.overhead = 5e-6;
+  model.bandwidth = 20e6;
+  return model;
+}
+
+CostModel two_tier_model() {
+  CostModel model = paper_like_model();
+  model.topology.ranks_per_node = 3;
+  model.topology.inter.latency = 2e-3;
+  model.topology.inter.overhead = 5e-5;
+  model.topology.inter.bandwidth = 2.5e6;
+  return model;
+}
+
+TEST(CostModelTopologyTest, FlatModelPricesEveryEdgeIntra) {
+  const CostModel model = paper_like_model();
+  for (int a = 0; a < 8; ++a) {
+    for (int b = 0; b < 8; ++b) {
+      EXPECT_EQ(model.link(a, b), model.intra_link());
+    }
+  }
+  EXPECT_DOUBLE_EQ(model.max_latency(), model.latency);
+}
+
+TEST(CostModelTopologyTest, TwoTierPricesCrossNodeEdgesInter) {
+  const CostModel model = two_tier_model();
+  // Nodes {0,1,2} {3,4,5} {6,7}.
+  EXPECT_EQ(model.link(0, 2), model.intra_link());
+  EXPECT_EQ(model.link(4, 5), model.intra_link());
+  EXPECT_EQ(model.link(2, 3), model.topology.inter);
+  EXPECT_EQ(model.link(3, 2), model.topology.inter);
+  EXPECT_EQ(model.link(0, 7), model.topology.inter);
+  EXPECT_DOUBLE_EQ(model.max_latency(), model.topology.inter.latency);
+}
+
+// --- the tuner ---
+
+TEST(CollectivesTunerTest, PrefersRingForLargeDenseBlocks) {
+  // A 64^3 view over 8 ranks: bandwidth-bound, so the chain's pipelined
+  // folds beat the binomial root's serialized ones.
+  EXPECT_EQ(choose_reduce_algorithm(iota_group(8), 64 * 64 * 64, 0,
+                                    paper_like_model(), /*density_hint=*/1.0,
+                                    /*encode_wire=*/true),
+            ReduceAlgorithm::kRing);
+}
+
+TEST(CollectivesTunerTest, PrefersHierarchyOnTwoTierTopology) {
+  // The 16^3 view at 25% density on the cluster-of-SMPs: small enough
+  // that the ring's latency hops hurt, but binomial's repeated inter-node
+  // crossings hurt more.
+  EXPECT_EQ(choose_reduce_algorithm(iota_group(8), 16 * 16 * 16, 0,
+                                    two_tier_model(), /*density_hint=*/0.25,
+                                    /*encode_wire=*/true),
+            ReduceAlgorithm::kTwoLevel);
+}
+
+TEST(CollectivesTunerTest, KeepsBinomialForSmallLatencyBoundBlocks) {
+  EXPECT_EQ(choose_reduce_algorithm(iota_group(8), 64, 0, paper_like_model(),
+                                    /*density_hint=*/1.0,
+                                    /*encode_wire=*/true),
+            ReduceAlgorithm::kBinomial);
+}
+
+TEST(CollectivesTunerTest, PairGroupsNeverSwitch) {
+  // g=2: every schedule is the same single send, so binomial stands.
+  for (const CostModel& model : {paper_like_model(), two_tier_model()}) {
+    EXPECT_EQ(choose_reduce_algorithm(iota_group(2), 1 << 20, 0, model, 1.0,
+                                      true),
+              ReduceAlgorithm::kBinomial);
+  }
+}
+
+TEST(CollectivesTunerTest, ResolvePassesForcedAlgorithmsThrough) {
+  for (ReduceAlgorithm forced :
+       {ReduceAlgorithm::kBinomial, ReduceAlgorithm::kRing,
+        ReduceAlgorithm::kTwoLevel}) {
+    EXPECT_EQ(resolve_reduce_algorithm(forced, iota_group(8), 64, 0,
+                                       paper_like_model(), 1.0, true),
+              forced);
+  }
+}
+
+TEST(CollectivesTunerTest, AutoNeverPredictedWorseThanBinomial) {
+  for (const CostModel& model : {paper_like_model(), two_tier_model()}) {
+    for (std::int64_t elements : {std::int64_t{1}, std::int64_t{512},
+                                  std::int64_t{262144}}) {
+      for (double density : {0.05, 0.25, 1.0}) {
+        const ReduceAlgorithm chosen = choose_reduce_algorithm(
+            iota_group(8), elements, 0, model, density, true);
+        const double chosen_seconds = simulate_reduce_seconds(
+            chosen, iota_group(8), elements, 0, model, density, true);
+        const double binomial_seconds = simulate_reduce_seconds(
+            ReduceAlgorithm::kBinomial, iota_group(8), elements, 0, model,
+            density, true);
+        EXPECT_LE(chosen_seconds, binomial_seconds)
+            << to_string(chosen) << " elements=" << elements
+            << " density=" << density;
+      }
+    }
+  }
+}
+
+/// The simulator is not a heuristic — it replays the generated schedule
+/// under the runtime's exact charging rules. With the wire codec off and
+/// fully dense data the runtime's virtual-clock makespan must match the
+/// prediction to the last bit, for every algorithm, on both topologies.
+TEST(CollectivesTunerTest, SimulatorMatchesRuntimeVirtualClock) {
+  constexpr std::int64_t kElements = 1000;
+  constexpr std::int64_t kCap = 128;
+  for (const CostModel& model : {paper_like_model(), two_tier_model()}) {
+    for (ReduceAlgorithm algorithm :
+         {ReduceAlgorithm::kBinomial, ReduceAlgorithm::kRing,
+          ReduceAlgorithm::kTwoLevel}) {
+      const RunReport report = Runtime::run(8, model, [&](Comm& comm) {
+        const std::vector<int> group = iota_group(8);
+        DenseArray data{Shape{{kElements}}};
+        data.fill(static_cast<Value>(comm.rank() + 1));
+        ReduceOptions options;
+        options.algorithm = algorithm;
+        options.max_message_elements = kCap;
+        options.wire.enabled = false;
+        comm.reduce(group, data, 1, AggregateOp::kSum, options);
+      });
+      const double predicted = simulate_reduce_seconds(
+          algorithm, iota_group(8), kElements, kCap, model,
+          /*density_hint=*/1.0, /*encode_wire=*/false);
+      EXPECT_DOUBLE_EQ(report.makespan_seconds, predicted)
+          << to_string(algorithm)
+          << (model.topology.two_tier() ? " two-tier" : " flat");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cubist

@@ -3,19 +3,37 @@
 
 With --comm, instead runs the communication-engine cases of
 bench/bench_comm_volume (BM_CommEngine: wire bytes + virtual clock across
-sparsities, adaptive encoding on/off) and writes BENCH_comm.json:
+sparsities, adaptive encoding on/off; BM_AlgorithmSweep: forced reduction
+algorithms vs the cost tuner across density x topology) and writes
+BENCH_comm.json:
 
   {
-    "schema": "cubist-bench-comm/1",
+    "schema": "cubist-bench-comm/2",
     "shape": "fig7",          # 64^4; --smoke switches to 16^4
+    "cost_model": { ... },    # LogP + topology params the sweep ran under
     "rows": [
       {"name": "BM_CommEngine/fig7/d25/enc", "density_pct": 25,
        "encode": 1, "logical_MB": ..., "wire_MB": ..., "sim_s": ...}, ...
     ],
     "summary": {              # encode-on vs encode-off, per density
       "25": {"wire_reduction_pct": ..., "clock_speedup": ...}, ...
+    },
+    "algorithm_sweep": [      # one row per sweep cell
+      {"name": "BM_AlgorithmSweep/fig7/g8-flat/d50/auto",
+       "point": "g8-flat", "density_pct": 50, "ranks_per_node": 0,
+       "algorithm": "auto", "sim_s": ...,
+       "chosen_views": {"binomial": 0, "ring": 1, "two_level": 0}}, ...
+    ],
+    "auto_vs_binomial": {     # per (point, density): the tuner's contract
+      "g8-flat/d50": {"binomial_sim_s": ..., "auto_sim_s": ...,
+                      "auto_speedup": ..., "auto_chosen_views": {...}}, ...
     }
   }
+
+The auto-vs-binomial pairing is checked, not just recorded: the script
+exits non-zero if the tuner's pick is slower than forced binomial at any
+sweep point, so the CI smoke run enforces the tuner's "never worse than
+the paper's schedule" contract on every push.
 
 With --serving, instead runs the query-serving load generator
 (bench/bench_serving: BM_Serving across clients x batch x skew x cache)
@@ -76,9 +94,26 @@ DEFAULT_COMM_OUT = "BENCH_comm.json"
 DEFAULT_SERVING_OUT = "BENCH_serving.json"
 DEFAULT_BINARY_DIRS = ("build-release", "build")
 SCHEMA = "cubist-bench-kernels/1"
-COMM_SCHEMA = "cubist-bench-comm/1"
+COMM_SCHEMA = "cubist-bench-comm/2"
 SERVING_SCHEMA = "cubist-bench-serving/1"
 QUERY_CLASSES = ("point", "slice", "dice", "rollup", "topk")
+
+# The parameters the comm benches run under, recorded in BENCH_comm.json so
+# the numbers are reproducible from the artifact alone. Mirrors
+# bench/bench_util.h paper_model(), bench/bench_comm_volume.cpp
+# sweep_inter_link(), and the tuner constants in
+# src/minimpi/collectives.cpp — keep in sync when retuning.
+COMM_COST_MODEL = {
+    "update_rate_per_s": 1.1e6,
+    "scan_rate_per_s": 1.1e6,
+    "intra_link": {"latency_s": 1e-4, "overhead_s": 5e-6,
+                   "bandwidth_Bps": 20e6},
+    "two_tier_inter_link": {"latency_s": 2e-3, "overhead_s": 5e-5,
+                            "bandwidth_Bps": 2.5e6},
+    "two_tier_ranks_per_node": 3,
+    "tuner": {"bytes_per_element": 8, "switch_margin": 0.95,
+              "ring_pipeline_factor": 2},
+}
 
 
 def find_binary(explicit, bench_name):
@@ -212,20 +247,107 @@ def comm_report(args):
             )
         summary[f"{density:g}"] = entry
 
+    sweep_rows, auto_vs_binomial = ([], {})
+    if not args.filter:
+        sweep_rows, auto_vs_binomial = comm_algorithm_sweep(binary, shape)
+
     report = {
         "schema": COMM_SCHEMA,
         "generated_by": "tools/bench_report.py --comm",
         "smoke": args.smoke,
         "shape": shape,
+        "cost_model": COMM_COST_MODEL,
         "rows": rows,
         "summary": summary,
+        "algorithm_sweep": sweep_rows,
+        "auto_vs_binomial": auto_vs_binomial,
     }
     out = args.out if args.out != DEFAULT_OUT else DEFAULT_COMM_OUT
     with open(out, "w", encoding="utf-8") as f:
         json.dump(report, f, indent=2, sort_keys=False)
         f.write("\n")
-    print(f"wrote {out} ({len(rows)} rows, {len(summary)} density pairs)")
+    print(f"wrote {out} ({len(rows)} rows, {len(summary)} density pairs, "
+          f"{len(sweep_rows)} sweep cells)")
     return 0
+
+
+def comm_algorithm_sweep(binary, shape):
+    """Runs BM_AlgorithmSweep and pairs the tuner against forced binomial.
+
+    Returns (sweep_rows, auto_vs_binomial). Exits non-zero if kAuto's
+    simulated makespan exceeds forced binomial's at any sweep point — that
+    would mean the cost tuner broke its never-worse contract.
+    """
+    sweep_filter = f"BM_AlgorithmSweep/{shape}/"
+    print(f"running {os.path.basename(binary)} "
+          f"(algorithm sweep, filter {sweep_filter}) ...")
+    raw = run_once(binary, os.cpu_count() or 1, sweep_filter, 0.01)
+
+    sweep_rows = []
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        # BM_AlgorithmSweep/<shape>/<point>/d<pct>/<algorithm>
+        parts = bench["name"].split("/")
+        if len(parts) < 5:
+            continue
+        sweep_rows.append(
+            {
+                "name": bench["name"],
+                "point": parts[2],
+                "density_pct": round(bench.get("density_pct", 0.0), 3),
+                "ranks_per_node": int(bench.get("rpn", 0)),
+                "algorithm": parts[4],
+                "logical_MB": round(bench.get("logical_MB", 0.0), 6),
+                "wire_MB": round(bench.get("wire_MB", 0.0), 6),
+                "sim_s": round(bench.get("sim_s", 0.0), 6),
+                "chosen_views": {
+                    "binomial": int(bench.get("views_binomial", 0)),
+                    "ring": int(bench.get("views_ring", 0)),
+                    "two_level": int(bench.get("views_two_level", 0)),
+                },
+            }
+        )
+    if not sweep_rows:
+        sys.exit("no BM_AlgorithmSweep rows produced; wrong binary?")
+
+    auto_vs_binomial = {}
+    violations = []
+    by_cell = {}
+    for row in sweep_rows:
+        cell = (row["point"], row["density_pct"])
+        by_cell.setdefault(cell, {})[row["algorithm"]] = row
+    for (point, density), algos in sorted(by_cell.items()):
+        if "binomial" not in algos or "auto" not in algos:
+            continue
+        binomial, auto = algos["binomial"], algos["auto"]
+        entry = {
+            "binomial_sim_s": binomial["sim_s"],
+            "auto_sim_s": auto["sim_s"],
+            "auto_chosen_views": auto["chosen_views"],
+        }
+        for name in ("ring", "two-level"):
+            if name in algos:
+                entry[f"{name.replace('-', '_')}_sim_s"] = \
+                    algos[name]["sim_s"]
+        if auto["sim_s"] > 0:
+            entry["auto_speedup"] = round(
+                binomial["sim_s"] / auto["sim_s"], 4
+            )
+        auto_vs_binomial[f"{point}/d{density:g}"] = entry
+        # Exact-equality tolerance only: when the tuner leaves binomial in
+        # place the two runs execute the identical schedule, so the clocks
+        # match bit for bit; a switched schedule must not be slower.
+        if auto["sim_s"] > binomial["sim_s"] * (1.0 + 1e-9):
+            violations.append(
+                f"{point}/d{density:g}: auto {auto['sim_s']}s > "
+                f"binomial {binomial['sim_s']}s"
+            )
+    for violation in violations:
+        sys.stderr.write(f"tuner contract violated: {violation}\n")
+    if violations:
+        sys.exit("cost tuner picked schedules slower than forced binomial")
+    return sweep_rows, auto_vs_binomial
 
 
 def serving_report(args):

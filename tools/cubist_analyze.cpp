@@ -77,6 +77,12 @@ struct ShapeCase {
   std::vector<std::int64_t> sizes;
   std::vector<int> log_splits;
   std::int64_t chunk_elements = 0;
+  /// Reduction schedule to certify (kAuto = whatever the tuner picks).
+  ReduceAlgorithm algorithm = ReduceAlgorithm::kBinomial;
+  /// Two-tier topology: consecutive ranks per node (0 = flat). Non-zero
+  /// also prices inter-node edges expensively (10x latency, 1/8
+  /// bandwidth) so the tuner has a real topology to react to.
+  int ranks_per_node = 0;
 };
 
 /// Everything the tool learned about one shape.
@@ -108,6 +114,13 @@ CaseResult run_case(const ShapeCase& shape, ScheduleMutation mutation,
   spec.sizes = shape.sizes;
   spec.log_splits = shape.log_splits;
   spec.reduce_message_elements = shape.chunk_elements;
+  spec.reduce_algorithm = shape.algorithm;
+  if (shape.ranks_per_node > 0) {
+    spec.model.topology.ranks_per_node = shape.ranks_per_node;
+    spec.model.topology.inter = {spec.model.latency * 10,
+                                 spec.model.overhead,
+                                 spec.model.bandwidth / 8};
+  }
   const CommPlan plan = build_comm_plan(spec);
 
   if (mutation == ScheduleMutation::kNone) {
@@ -138,9 +151,10 @@ void print_case(const CaseResult& result) {
   for (std::size_t i = 0; i < result.shape.sizes.size(); ++i) {
     sizes << (i > 0 ? "x" : "") << result.shape.sizes[i];
   }
-  std::printf("[%s] sizes=%s chunk=%lld mutation=%s\n",
+  std::printf("[%s] sizes=%s chunk=%lld algorithm=%s rpn=%d mutation=%s\n",
               result.shape.name.c_str(), sizes.str().c_str(),
               static_cast<long long>(result.shape.chunk_elements),
+              to_string(result.shape.algorithm), result.shape.ranks_per_node,
               to_string(result.mutation));
   if (!result.mutation_note.empty()) {
     std::printf("  seeded: %s\n", result.mutation_note.c_str());
@@ -163,6 +177,8 @@ std::string case_to_json(const CaseResult& result) {
     out << (i > 0 ? "," : "") << result.shape.log_splits[i];
   }
   out << "],\"chunk_elements\":" << result.shape.chunk_elements
+      << ",\"algorithm\":\"" << to_string(result.shape.algorithm)
+      << "\",\"ranks_per_node\":" << result.shape.ranks_per_node
       << ",\"mutation\":\"" << to_string(result.mutation)
       << "\",\"mutation_note\":\"" << json_escape(result.mutation_note)
       << "\",\"events\":" << result.events << ",\"ok\":"
@@ -331,6 +347,12 @@ int main(int argc, char** argv) {
       "chunk-elements", 0, "reduction message cap in elements (0 = whole block)");
   const auto* max_transitions = args.add_int(
       "max-transitions", 0, "model-checker transition budget (0 = default)");
+  const auto* algorithm_text = args.add_string(
+      "algorithm", "binomial",
+      "reduction schedule to certify: binomial | ring | two-level | auto");
+  const auto* ranks_per_node = args.add_int(
+      "ranks-per-node", 0,
+      "two-tier topology: consecutive ranks per node (0 = flat)");
   const auto* mutate_text = args.add_string(
       "mutate", "none",
       "seed a bug first: drop-send | arrival-order-combine | tag-collision");
@@ -347,6 +369,13 @@ int main(int argc, char** argv) {
     return self_test(*max_transitions);
   }
 
+  ReduceAlgorithm algorithm = ReduceAlgorithm::kBinomial;
+  CUBIST_CHECK(parse_reduce_algorithm(*algorithm_text, &algorithm),
+               "unknown --algorithm value '"
+                   << *algorithm_text
+                   << "' (binomial | ring | two-level | auto)");
+  CUBIST_CHECK(*ranks_per_node >= 0, "negative --ranks-per-node");
+
   std::vector<ShapeCase> cases;
   if (*figure7) {
     cases = figure7_matrix();
@@ -359,6 +388,10 @@ int main(int argc, char** argv) {
     CUBIST_CHECK(shape.sizes.size() == shape.log_splits.size(),
                  "--sizes and --log-splits must have equal length");
     cases.push_back(std::move(shape));
+  }
+  for (ShapeCase& shape : cases) {
+    shape.algorithm = algorithm;
+    shape.ranks_per_node = static_cast<int>(*ranks_per_node);
   }
   const ScheduleMutation mutation = parse_mutation(*mutate_text);
 

@@ -20,15 +20,23 @@ deliberately looser):
   4. Every CUBIST_CHECK / CUBIST_ASSERT / CUBIST_DCHECK carries a message
      operand (a bare condition gives useless diagnostics).
   5. No file-scope `using namespace` in src/.
-  6. No direct Mailbox traffic (`.receive(` / `.receive_any(` /
-     `.deliver(` / `.mailbox(`) outside src/minimpi/comm.cpp.  Comm's
-     primitives are the single choke point that stamps virtual-clock
-     arrival times and records the event trace the happens-before
-     auditor replays; a bypass would make runs unauditable.
+  6. No direct message-channel traffic (`.receive(` / `.receive_any(` /
+     `.deliver(` / `.mailbox(`) outside src/minimpi/comm.cpp and the
+     transport adaptor (src/minimpi/transport.cpp).  Comm's primitives
+     are the single choke point that stamps virtual-clock arrival times
+     and records the event trace the happens-before auditor replays; a
+     bypass would make runs unauditable.
+  7. No use of the `Mailbox` class outside the transport adaptor
+     boundary (src/minimpi/mailbox.h itself and the mailbox transport,
+     src/minimpi/transport.cpp).  Everything else must go through the
+     Transport interface — that seam is what keeps other backends
+     pluggable and the runtime unaware of HOW messages move.
 
-Usage:  python3 tools/lint.py  [--root REPO_ROOT]  [FILE ...]
+Usage:  python3 tools/lint.py  [--root REPO_ROOT]  [--self-test]  [FILE ...]
 With FILE arguments only those files are linted; naming a file that is
 unreadable or not a .h/.cpp source is itself an error (exit 2).
+--self-test lints synthetic sources that must (and must not) trip the
+boundary rules, proving the rules still fire.
 Exit status 0 = clean, 1 = violations (printed one per line), 2 = bad
 invocation.
 """
@@ -42,9 +50,17 @@ NAKED_THROW_ALLOWED_FILES = {"src/common/error.cpp"}
 ALLOWED_THROW = re.compile(r"throw\s+AbortedError\s*\(\s*\)")
 THROW = re.compile(r"(?<![\w_])throw(?![\w_])")
 MACRO_CALL = re.compile(r"CUBIST_(?:CHECK|ASSERT|DCHECK)\s*\(")
-MAILBOX_ALLOWED_FILES = {"src/minimpi/comm.cpp"}
-MAILBOX_CALL = re.compile(
+CHANNEL_CALL_ALLOWED_FILES = {
+    "src/minimpi/comm.cpp",
+    "src/minimpi/transport.cpp",
+}
+CHANNEL_CALL = re.compile(
     r"(?:\.|->)\s*(?:receive(?:_any)?|deliver|mailbox)\s*\(")
+MAILBOX_TYPE_ALLOWED_FILES = {
+    "src/minimpi/mailbox.h",
+    "src/minimpi/transport.cpp",
+}
+MAILBOX_TYPE = re.compile(r"(?<![\w_])Mailbox(?![\w_])")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -142,24 +158,84 @@ def lint_file(path: pathlib.Path, rel: str, problems: list) -> None:
             f"{rel}:{line_of(code, match.start())}: file-scope "
             "`using namespace` in library code")
 
-    if rel not in MAILBOX_ALLOWED_FILES:
-        for match in MAILBOX_CALL.finditer(code):
+    if rel not in CHANNEL_CALL_ALLOWED_FILES:
+        for match in CHANNEL_CALL.finditer(code):
             problems.append(
-                f"{rel}:{line_of(code, match.start())}: direct Mailbox "
-                "traffic outside src/minimpi/comm.cpp — go through Comm's "
-                "primitives so arrival clocks and the event trace stay "
-                "complete")
+                f"{rel}:{line_of(code, match.start())}: direct message-"
+                "channel traffic outside src/minimpi/comm.cpp and the "
+                "transport adaptor — go through Comm's primitives so "
+                "arrival clocks and the event trace stay complete")
+
+    if rel.startswith("src/") and rel not in MAILBOX_TYPE_ALLOWED_FILES:
+        for match in MAILBOX_TYPE.finditer(code):
+            problems.append(
+                f"{rel}:{line_of(code, match.start())}: `Mailbox` used "
+                "outside the transport adaptor (src/minimpi/transport.cpp) "
+                "— depend on the Transport interface instead")
 
     check_macro_messages(rel, code, problems)
+
+
+def self_test() -> int:
+    """Lints synthetic sources that must (and must not) trip the transport
+    boundary rules. Returns 0 when every expectation holds."""
+    import tempfile
+
+    cases = [
+        # (rel name to lint under, source, substring expected in a problem
+        #  or None when the file must lint clean)
+        ("src/core/rogue.cpp",
+         "void f(Mailbox& m) {}\n",
+         "`Mailbox` used outside the transport adaptor"),
+        ("src/minimpi/transport.cpp",
+         "void f(Mailbox& m) {}\n",
+         None),
+        ("src/core/rogue2.cpp",
+         "void f() { box.deliver(0, 1, m); }\n",
+         "direct message-channel traffic"),
+        ("src/minimpi/comm.cpp",
+         "void f() { t.receive_any(0, tag, accept); }\n",
+         None),
+        # Comments and strings must not trip the type rule.
+        ("src/core/commented.cpp",
+         "// Mailbox is banned here\nconst char* s = \"Mailbox\";\n",
+         None),
+    ]
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        for index, (rel, source, expected) in enumerate(cases):
+            path = pathlib.Path(tmp) / f"case_{index}.cpp"
+            path.write_text(source)
+            problems = []
+            lint_file(path, rel, problems)
+            if expected is None:
+                if problems:
+                    failures.append(
+                        f"case {index} ({rel}): expected clean, got "
+                        f"{problems}")
+            elif not any(expected in p for p in problems):
+                failures.append(
+                    f"case {index} ({rel}): expected a problem containing "
+                    f"{expected!r}, got {problems}")
+    for failure in failures:
+        print(f"lint --self-test: {failure}", file=sys.stderr)
+    print(f"lint --self-test: {len(cases)} cases, "
+          f"{len(failures)} failure(s)", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--root", default=None,
                         help="repo root (default: parent of this script)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="prove the boundary rules fire on synthetic "
+                             "violations")
     parser.add_argument("files", nargs="*",
                         help="lint only these files (default: all of src/)")
     args = parser.parse_args()
+    if args.self_test:
+        return self_test()
     root = (pathlib.Path(args.root).resolve() if args.root
             else pathlib.Path(__file__).resolve().parent.parent)
 
