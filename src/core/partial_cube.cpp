@@ -1,6 +1,7 @@
 #include "core/partial_cube.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "array/aggregate.h"
 #include "common/error.h"
@@ -29,10 +30,11 @@ std::vector<int> kept_positions(DimSet parent, DimSet child) {
 
 }  // namespace
 
-PartialCube PartialCube::build(SparseArray input, std::vector<DimSet> views,
-                               BuildStats* stats) {
-  const std::vector<std::int64_t> sizes = input.shape().extents();
-  const int n = input.ndim();
+PartialCube PartialCube::build(std::shared_ptr<const SparseArray> input,
+                               std::vector<DimSet> views, BuildStats* stats) {
+  CUBIST_CHECK(input != nullptr, "PartialCube needs an input array");
+  const std::vector<std::int64_t> sizes = input->shape().extents();
+  const int n = input->ndim();
   const DimSet root = DimSet::full(n);
   PartialCube cube(std::move(input), sizes);
   BuildStats totals;
@@ -70,19 +72,27 @@ PartialCube PartialCube::build(SparseArray input, std::vector<DimSet> views,
       scan = project(cube.views_.at(parent->mask()),
                      kept_positions(*parent, view), &array);
     } else {
-      scan = project(cube.input_, kept_positions(root, view), &array);
+      scan = project(*cube.input_, kept_positions(root, view), &array);
     }
     totals.cells_scanned += scan.cells_scanned;
     totals.updates += scan.updates;
     totals.written_bytes += array.bytes();
     cube.views_.emplace(view.mask(), std::move(array));
   }
-  // Peak accounting: everything stays resident by design here.
+  // Peak accounting: every materialized view stays resident by design.
+  // The shared input is deliberately NOT counted — it exists once no
+  // matter how many cube generations a re-plan cycle builds.
   totals.peak_live_bytes = cube.materialized_bytes();
   if (stats != nullptr) {
     *stats = totals;
   }
   return cube;
+}
+
+PartialCube PartialCube::build(SparseArray input, std::vector<DimSet> views,
+                               BuildStats* stats) {
+  return build(std::make_shared<const SparseArray>(std::move(input)),
+               std::move(views), stats);
 }
 
 std::vector<DimSet> PartialCube::materialized_views() const {
@@ -124,16 +134,21 @@ std::optional<DimSet> PartialCube::best_ancestor(DimSet view) const {
 
 Value PartialCube::query(DimSet view, const std::vector<std::int64_t>& coords,
                          std::int64_t* cells_scanned) const {
+  return query_from(best_ancestor(view), view, coords, cells_scanned);
+}
+
+Value PartialCube::query_from(std::optional<DimSet> from, DimSet view,
+                              const std::vector<std::int64_t>& coords,
+                              std::int64_t* cells_scanned) const {
   CUBIST_CHECK(view.is_subset_of(DimSet::full(ndims())), "view out of lattice");
   CUBIST_CHECK(static_cast<int>(coords.size()) == view.size(),
                "coordinate count must match view dimensionality");
-  const std::optional<DimSet> ancestor = best_ancestor(view);
-  if (!ancestor) {
+  if (!from) {
     // Fall through to the sparse input: one pass over the non-zeros.
     const std::vector<int> dims = view.dims();
     Value total = 0;
     std::int64_t scanned = 0;
-    input_.for_each_nonzero([&](const std::int64_t* idx, Value v) {
+    input_->for_each_nonzero([&](const std::int64_t* idx, Value v) {
       ++scanned;
       for (std::size_t i = 0; i < dims.size(); ++i) {
         if (idx[dims[i]] != coords[i]) return;
@@ -144,21 +159,26 @@ Value PartialCube::query(DimSet view, const std::vector<std::int64_t>& coords,
     return total;
   }
 
-  const DenseArray& source = views_.at(ancestor->mask());
-  if (*ancestor == view) {
+  CUBIST_CHECK(view.is_subset_of(*from),
+               "source " << from->to_string() << " does not cover view "
+                         << view.to_string());
+  const auto it = views_.find(from->mask());
+  CUBIST_CHECK(it != views_.end(),
+               "source " << from->to_string() << " not materialized");
+  const DenseArray& source = it->second;
+  if (*from == view) {
     if (cells_scanned != nullptr) *cells_scanned = 1;
     return source.at(coords);
   }
-  // Aggregate the ancestor over its free dimensions at the fixed coords.
-  const std::vector<int> ancestor_dims = ancestor->dims();
-  const int m = static_cast<int>(ancestor_dims.size());
-  std::vector<std::int64_t> index(static_cast<std::size_t>(m), 0);
+  // Aggregate the source over its free dimensions at the fixed coords.
+  const std::vector<int> source_dims = from->dims();
+  const int m = static_cast<int>(source_dims.size());
   std::vector<int> free_positions;
   std::int64_t base = 0;
   {
     std::size_t coord_index = 0;
     for (int pos = 0; pos < m; ++pos) {
-      if (view.contains(ancestor_dims[pos])) {
+      if (view.contains(source_dims[pos])) {
         const std::int64_t c = coords[coord_index++];
         CUBIST_CHECK(c >= 0 && c < source.shape().extent(pos),
                      "coordinate out of range");
@@ -197,6 +217,37 @@ Value PartialCube::query(DimSet view, const std::vector<std::int64_t>& coords,
       return total;
     }
   }
+}
+
+DenseArray PartialCube::materialize_from(std::optional<DimSet> from,
+                                         DimSet view,
+                                         std::int64_t* cells_scanned) const {
+  const DimSet root = DimSet::full(ndims());
+  CUBIST_CHECK(view.is_subset_of(root), "view out of lattice");
+  std::vector<std::int64_t> extents;
+  for (int d : view.dims()) {
+    extents.push_back(sizes_[d]);
+  }
+  DenseArray out{Shape{extents}};
+  AggregationStats scan;
+  if (from) {
+    CUBIST_CHECK(view.is_subset_of(*from),
+                 "source " << from->to_string() << " does not cover view "
+                           << view.to_string());
+    const auto it = views_.find(from->mask());
+    CUBIST_CHECK(it != views_.end(),
+                 "source " << from->to_string() << " not materialized");
+    scan = project(it->second, kept_positions(*from, view), &out);
+  } else {
+    scan = project(*input_, kept_positions(root, view), &out);
+  }
+  if (cells_scanned != nullptr) *cells_scanned = scan.cells_scanned;
+  return out;
+}
+
+DenseArray PartialCube::materialize(DimSet view,
+                                    std::int64_t* cells_scanned) const {
+  return materialize_from(best_ancestor(view), view, cells_scanned);
 }
 
 }  // namespace cubist

@@ -5,10 +5,16 @@
 // materialized ancestor and aggregated on the fly. The query cost in
 // cells matches the linear model the selection optimizes, so the
 // storage/latency trade-off is directly measurable (bench_partial).
+//
+// The input is held through a shared_ptr: re-plan cycles build the next
+// generation's cube from the SAME input array (input_ptr()), so swapping
+// selections never doubles the input's footprint — only the materialized
+// views (peak_live_bytes) differ between generations.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -24,12 +30,25 @@ class PartialCube {
   /// Materializes `views` from the sparse input. Each view is computed
   /// from its smallest materialized strict superset (or the input), in
   /// descending-size order, so construction reuses prior results. The
-  /// input is retained (by copy) to answer queries no view covers.
+  /// input is shared, not copied, to answer queries no view covers.
+  static PartialCube build(std::shared_ptr<const SparseArray> input,
+                           std::vector<DimSet> views,
+                           BuildStats* stats = nullptr);
+
+  /// Convenience overload that takes ownership of a caller copy. Re-plan
+  /// paths should use the shared_ptr overload so every generation of the
+  /// cube shares ONE input array.
   static PartialCube build(SparseArray input, std::vector<DimSet> views,
                            BuildStats* stats = nullptr);
 
-  int ndims() const { return input_.ndim(); }
+  int ndims() const { return input_->ndim(); }
   const std::vector<std::int64_t>& sizes() const { return sizes_; }
+
+  const SparseArray& input() const { return *input_; }
+  /// The shared input array; pass to build() to re-plan without copying.
+  const std::shared_ptr<const SparseArray>& input_ptr() const {
+    return input_;
+  }
 
   bool is_materialized(DimSet view) const {
     return views_.count(view.mask()) != 0;
@@ -49,15 +68,37 @@ class PartialCube {
   Value query(DimSet view, const std::vector<std::int64_t>& coords,
               std::int64_t* cells_scanned = nullptr) const;
 
+  /// Point group-by routed through a caller-chosen source: `from` must be
+  /// a materialized superset of `view` (nullopt = the raw input). An
+  /// AncestorTable feeds this so serving skips the per-query linear scan
+  /// of the materialized set that query() performs.
+  Value query_from(std::optional<DimSet> from, DimSet view,
+                   const std::vector<std::int64_t>& coords,
+                   std::int64_t* cells_scanned = nullptr) const;
+
+  /// Fully materializes ANY view on the fly by projecting the source
+  /// `from` (same contract as query_from) down to `view` in one scan.
+  /// `cells_scanned` reports |from| (dense source) or nnz (input source),
+  /// the same price query_cost() charges; projecting a view out of
+  /// itself degenerates to a copy and charges |view|.
+  DenseArray materialize_from(std::optional<DimSet> from, DimSet view,
+                              std::int64_t* cells_scanned = nullptr) const;
+
+  /// Convenience: materialize_from() routed via the smallest materialized
+  /// ancestor.
+  DenseArray materialize(DimSet view,
+                         std::int64_t* cells_scanned = nullptr) const;
+
  private:
-  PartialCube(SparseArray input, std::vector<std::int64_t> sizes)
+  PartialCube(std::shared_ptr<const SparseArray> input,
+              std::vector<std::int64_t> sizes)
       : input_(std::move(input)), sizes_(std::move(sizes)) {}
 
   /// The smallest materialized superset of `view`, if any (else the
   /// query falls through to the input).
   std::optional<DimSet> best_ancestor(DimSet view) const;
 
-  SparseArray input_;
+  std::shared_ptr<const SparseArray> input_;
   std::vector<std::int64_t> sizes_;
   std::map<std::uint32_t, DenseArray> views_;
 };

@@ -7,9 +7,23 @@
 namespace cubist {
 namespace {
 
+/// Visits the masks of every subset of `mask` (including `mask` and 0):
+/// the standard sub = (sub - 1) & mask walk. A view only ever affects the
+/// costs of its subsets, so enumerating those 2^|mask| masks directly —
+/// instead of testing all 2^n lattice masks for subsethood — drops one
+/// full greedy round from O(4^n) to O(3^n) total (docs/PERFORMANCE.md
+/// has the measured before/after).
+template <typename Visit>
+void for_each_subset(std::uint32_t mask, Visit visit) {
+  for (std::uint32_t sub = mask;; sub = (sub - 1) & mask) {
+    visit(sub);
+    if (sub == 0) break;
+  }
+}
+
 /// Current answering cost of every view given the materialized set,
 /// indexed by view mask. Updating this vector incrementally keeps the
-/// greedy at O(k * 4^n) instead of O(k * 8^n).
+/// greedy from re-deriving costs each round.
 std::vector<std::int64_t> cost_table(const CubeLattice& lattice,
                                      const std::vector<DimSet>& materialized) {
   const std::int64_t root_cells = lattice.view_cells(
@@ -18,12 +32,9 @@ std::vector<std::int64_t> cost_table(const CubeLattice& lattice,
       static_cast<std::size_t>(lattice.num_views()), root_cells);
   for (DimSet m : materialized) {
     const std::int64_t cells = lattice.view_cells(m);
-    for (std::uint32_t mask = 0;
-         mask < static_cast<std::uint32_t>(lattice.num_views()); ++mask) {
-      if (DimSet::from_mask(mask).is_subset_of(m)) {
-        costs[mask] = std::min(costs[mask], cells);
-      }
-    }
+    for_each_subset(m.mask(), [&](std::uint32_t sub) {
+      costs[sub] = std::min(costs[sub], cells);
+    });
   }
   return costs;
 }
@@ -34,13 +45,23 @@ std::int64_t benefit_of(const CubeLattice& lattice,
                         DimSet candidate) {
   const std::int64_t cells = lattice.view_cells(candidate);
   std::int64_t benefit = 0;
-  for (std::uint32_t mask = 0;
-       mask < static_cast<std::uint32_t>(lattice.num_views()); ++mask) {
-    if (DimSet::from_mask(mask).is_subset_of(candidate) &&
-        costs[mask] > cells) {
-      benefit += costs[mask] - cells;
-    }
-  }
+  for_each_subset(candidate.mask(), [&](std::uint32_t sub) {
+    if (costs[sub] > cells) benefit += costs[sub] - cells;
+  });
+  return benefit;
+}
+
+/// Frequency-weighted benefit: every covered view counts `weights[view]`
+/// times instead of once.
+std::int64_t weighted_benefit_of(const CubeLattice& lattice,
+                                 const std::vector<std::int64_t>& costs,
+                                 const std::vector<std::int64_t>& weights,
+                                 DimSet candidate) {
+  const std::int64_t cells = lattice.view_cells(candidate);
+  std::int64_t benefit = 0;
+  for_each_subset(candidate.mask(), [&](std::uint32_t sub) {
+    if (costs[sub] > cells) benefit += weights[sub] * (costs[sub] - cells);
+  });
   return benefit;
 }
 
@@ -104,12 +125,78 @@ ViewSelection select_views_greedy(const CubeLattice& lattice, int k) {
     selection.steps.push_back({best, best_benefit});
     // Update the cost table with the new view.
     const std::int64_t cells = lattice.view_cells(best);
+    for_each_subset(best.mask(), [&](std::uint32_t sub) {
+      costs[sub] = std::min(costs[sub], cells);
+    });
+  }
+  return selection;
+}
+
+ViewSelection select_views_weighted(const CubeLattice& lattice,
+                                    std::int64_t budget_bytes,
+                                    const std::vector<std::int64_t>& freq,
+                                    std::int64_t bytes_per_cell) {
+  CUBIST_CHECK(budget_bytes >= 0, "budget must be non-negative");
+  CUBIST_CHECK(bytes_per_cell > 0, "bytes_per_cell must be positive");
+  CUBIST_CHECK(static_cast<std::int64_t>(freq.size()) == lattice.num_views(),
+               "freq needs one entry per lattice view");
+  const DimSet root = DimSet::full(lattice.ndims());
+  bool observed = false;
+  for (std::int64_t f : freq) {
+    CUBIST_CHECK(f >= 0, "negative query frequency");
+    observed = observed || f > 0;
+  }
+  // No observations yet: weight every view once, so a cold re-plan is
+  // exactly static size-based HRU under the budget.
+  const std::vector<std::int64_t> weights =
+      observed ? freq : std::vector<std::int64_t>(freq.size(), 1);
+
+  ViewSelection selection;
+  std::vector<std::int64_t> costs = cost_table(lattice, {});
+  std::vector<std::uint8_t> picked(
+      static_cast<std::size_t>(lattice.num_views()), 0);
+  std::int64_t remaining = budget_bytes;
+  while (true) {
+    DimSet best;
+    std::int64_t best_benefit = 0;
+    std::int64_t best_bytes = 0;
+    bool found = false;
     for (std::uint32_t mask = 0;
          mask < static_cast<std::uint32_t>(lattice.num_views()); ++mask) {
-      if (DimSet::from_mask(mask).is_subset_of(best)) {
-        costs[mask] = std::min(costs[mask], cells);
+      const DimSet candidate = DimSet::from_mask(mask);
+      if (candidate == root || picked[mask] != 0) continue;
+      const std::int64_t bytes =
+          lattice.view_cells(candidate) * bytes_per_cell;
+      if (bytes > remaining) continue;
+      const std::int64_t benefit =
+          weighted_benefit_of(lattice, costs, weights, candidate);
+      if (benefit <= 0) continue;
+      // Highest benefit per byte wins; ties break toward the smaller
+      // view (less storage for the same rate), then the lower mask.
+      // Cross-multiplying in 128 bits keeps the comparison exact.
+      const bool better =
+          !found ||
+          static_cast<__int128>(benefit) * best_bytes >
+              static_cast<__int128>(best_benefit) * bytes ||
+          (static_cast<__int128>(benefit) * best_bytes ==
+               static_cast<__int128>(best_benefit) * bytes &&
+           bytes < best_bytes);
+      if (better) {
+        best = candidate;
+        best_benefit = benefit;
+        best_bytes = bytes;
+        found = true;
       }
     }
+    if (!found) break;
+    picked[best.mask()] = 1;
+    remaining -= best_bytes;
+    selection.views.push_back(best);
+    selection.steps.push_back({best, best_benefit});
+    const std::int64_t cells = lattice.view_cells(best);
+    for_each_subset(best.mask(), [&](std::uint32_t sub) {
+      costs[sub] = std::min(costs[sub], cells);
+    });
   }
   return selection;
 }

@@ -46,6 +46,23 @@ std::int64_t total_query_cost(const CubeLattice& lattice,
 /// view maximizing the total cost reduction.
 ViewSelection select_views_greedy(const CubeLattice& lattice, int k);
 
+/// Frequency-weighted benefit-per-byte greedy under a byte budget (the
+/// workload-adaptive variant the serving engine re-plans with). Each
+/// round picks the view maximizing
+///   sum_{w subseteq candidate} freq[w] * max(0, cost[w] - |candidate|)
+/// per byte of candidate storage, among candidates that still fit the
+/// remaining budget; it stops when no fitting candidate improves any
+/// weighted query. `freq` is indexed by view mask (one entry per lattice
+/// view) and holds observed query counts; an all-zero table degrades to
+/// uniform weights, i.e. static size-based HRU under a budget — which is
+/// exactly the baseline a cold engine starts from. `bytes_per_cell` is
+/// sizeof(Value) for real arrays. SelectionStep::benefit records the
+/// weighted benefit of each round.
+ViewSelection select_views_weighted(const CubeLattice& lattice,
+                                    std::int64_t budget_bytes,
+                                    const std::vector<std::int64_t>& freq,
+                                    std::int64_t bytes_per_cell = 8);
+
 /// Exhaustive optimum over all C(2^n - 1, k) selections — exponential,
 /// for validating the greedy on small lattices only.
 ViewSelection select_views_exhaustive(const CubeLattice& lattice, int k);

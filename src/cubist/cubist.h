@@ -60,6 +60,7 @@
 #include "io/array_io.h"             // binary + CSV persistence
 #include "io/generators.h"           // synthetic datasets
 #include "lattice/aggregation_tree.h"  // Definition 3
+#include "lattice/ancestor_table.h"    // minimal-ancestor query routing
 #include "lattice/cube_lattice.h"      // Figure 1
 #include "lattice/memory_sim.h"        // Theorems 1/2/4/5
 #include "lattice/prefix_tree.h"       // Definition 2

@@ -1,0 +1,74 @@
+#include "lattice/ancestor_table.h"
+
+#include "common/error.h"
+
+namespace cubist {
+
+AncestorTable AncestorTable::build(const CubeLattice& lattice,
+                                   const std::vector<DimSet>& materialized) {
+  const int n = lattice.ndims();
+  const DimSet root = DimSet::full(n);
+  const auto num_views = static_cast<std::size_t>(lattice.num_views());
+
+  AncestorTable table;
+  table.n_ = n;
+  table.root_mask_ = root.mask();
+  table.route_.assign(num_views, root.mask());
+  table.cells_.assign(num_views, lattice.view_cells(root));
+  table.materialized_.assign(num_views, 0);
+  for (DimSet view : materialized) {
+    CUBIST_CHECK(view.is_subset_of(root), "materialized view out of lattice");
+    CUBIST_CHECK(view != root, "the root is the input; do not list it");
+    table.materialized_[view.mask()] = 1;
+  }
+
+  // One pass in descending dimensionality (all_views() puts the root
+  // first and every view after all of its supersets): the cheapest
+  // materialized ancestor of V is the (cells, mask)-minimum over V itself
+  // and its immediate supersets' routes. The root keeps the input
+  // sentinel, so an uncovered chain bottoms out there.
+  for (DimSet view : lattice.all_views()) {
+    if (view == root) continue;
+    const std::uint32_t mask = view.mask();
+    if (table.materialized_[mask] != 0) {
+      // A view never beats its own cells (supersets only multiply
+      // extents >= 1) and always has the lowest mask among them, so a
+      // materialized view routes to itself.
+      table.route_[mask] = mask;
+      table.cells_[mask] = lattice.view_cells(view);
+      continue;
+    }
+    for (DimSet parent : lattice.parents(view)) {
+      const std::uint32_t candidate = table.route_[parent.mask()];
+      if (candidate == root.mask()) continue;  // parent routes to input
+      const std::int64_t cells = table.cells_[parent.mask()];
+      if (cells < table.cells_[mask] ||
+          (cells == table.cells_[mask] && candidate < table.route_[mask])) {
+        table.route_[mask] = candidate;
+        table.cells_[mask] = cells;
+      }
+    }
+  }
+  return table;
+}
+
+std::uint32_t AncestorTable::index_of(DimSet view) const {
+  CUBIST_CHECK(view.is_subset_of(DimSet::full(n_)), "view out of lattice");
+  return view.mask();
+}
+
+std::optional<DimSet> AncestorTable::route(DimSet view) const {
+  const std::uint32_t routed = route_[index_of(view)];
+  if (routed == root_mask_) return std::nullopt;
+  return DimSet::from_mask(routed);
+}
+
+std::int64_t AncestorTable::routed_cells(DimSet view) const {
+  return cells_[index_of(view)];
+}
+
+bool AncestorTable::is_materialized(DimSet view) const {
+  return materialized_[index_of(view)] != 0;
+}
+
+}  // namespace cubist

@@ -56,4 +56,24 @@ std::int64_t parallel_memory_bound(const CubeLattice& lattice,
   return sequential_memory_bound(local_lattice, bytes_per_cell);
 }
 
+std::int64_t certify_selection_bytes(const CubeLattice& lattice,
+                                     const std::vector<DimSet>& views,
+                                     std::int64_t budget_bytes,
+                                     std::int64_t bytes_per_cell) {
+  CUBIST_CHECK(budget_bytes >= 0, "budget must be non-negative");
+  CUBIST_CHECK(bytes_per_cell > 0, "bytes_per_cell must be positive");
+  const DimSet root = DimSet::full(lattice.ndims());
+  MemoryLedger ledger;
+  for (DimSet view : views) {
+    CUBIST_CHECK(view.is_subset_of(root), "selected view out of lattice");
+    CUBIST_CHECK(view != root, "the root is the input; do not select it");
+    ledger.alloc(lattice.view_cells(view) * bytes_per_cell);
+  }
+  CUBIST_CHECK(ledger.peak_bytes() <= budget_bytes,
+               "selection needs " << ledger.peak_bytes()
+                                  << " resident bytes, over the budget of "
+                                  << budget_bytes);
+  return ledger.peak_bytes();
+}
+
 }  // namespace cubist

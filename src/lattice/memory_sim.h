@@ -61,4 +61,15 @@ std::int64_t parallel_memory_bound(const CubeLattice& lattice,
                                    const std::vector<int>& log_splits,
                                    std::int64_t bytes_per_cell);
 
+/// Certifies a view selection against a byte budget by replaying its
+/// materialization through a MemoryLedger: every selected view is
+/// allocated and stays resident (that is how a serving PartialCube holds
+/// them), so the ledger peak is the selection's resident footprint.
+/// Returns the certified peak; throws InvalidArgument when it exceeds
+/// `budget_bytes` — a re-plan must never swap in an uncertified set.
+std::int64_t certify_selection_bytes(const CubeLattice& lattice,
+                                     const std::vector<DimSet>& views,
+                                     std::int64_t budget_bytes,
+                                     std::int64_t bytes_per_cell);
+
 }  // namespace cubist

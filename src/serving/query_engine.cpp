@@ -1,17 +1,93 @@
 #include "serving/query_engine.h"
 
+#include <string>
 #include <utility>
 
 #include "common/error.h"
 #include "common/timer.h"
 #include "core/olap_query.h"
+#include "core/view_selection.h"
+#include "lattice/cube_lattice.h"
+#include "lattice/memory_sim.h"
 
 namespace cubist::serving {
+namespace {
+
+/// Applies a non-point query to a view array (materialized or scratch).
+QueryResult apply_to_view(const Query& query, const DenseArray& view) {
+  QueryResult result;
+  result.kind = query.kind;
+  switch (query.kind) {
+    case QueryKind::kSlice:
+      result.array = cubist::slice(view, query.dim, query.index);
+      break;
+    case QueryKind::kDice:
+      result.array = cubist::dice(view, query.lo, query.hi);
+      break;
+    case QueryKind::kRollup:
+      result.array =
+          cubist::rollup(view, query.dim, query.mapping, query.coarse_extent);
+      break;
+    case QueryKind::kTopK:
+      result.topk = cubist::top_k(view, query.k);
+      break;
+    case QueryKind::kPoint:
+      CUBIST_ASSERT(false, "point queries never go through apply_to_view");
+  }
+  return result;
+}
+
+/// Cells a query touches when served directly from its own view array.
+/// Call after the operation validated its operands.
+std::int64_t direct_cells(const Query& query, const DenseArray& view) {
+  switch (query.kind) {
+    case QueryKind::kPoint:
+      return 1;
+    case QueryKind::kSlice: {
+      const std::int64_t extent = view.shape().extent(query.dim);
+      return extent > 0 ? view.size() / extent : 1;
+    }
+    case QueryKind::kDice: {
+      std::int64_t cells = 1;
+      for (std::size_t d = 0; d < query.lo.size(); ++d) {
+        cells *= query.hi[d] - query.lo[d];
+      }
+      return cells;
+    }
+    case QueryKind::kRollup:
+    case QueryKind::kTopK:
+      return view.size();
+  }
+  CUBIST_ASSERT(false,
+                "unknown QueryKind " << static_cast<int>(query.kind));
+}
+
+}  // namespace
 
 QueryEngine::QueryEngine(std::shared_ptr<const CubeResult> snapshot,
                          QueryEngineOptions options)
     : snapshot_(std::move(snapshot)), options_(options) {
   CUBIST_CHECK(snapshot_ != nullptr, "engine needs a cube snapshot");
+  init_telemetry();
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<const PartialCube> snapshot,
+                         QueryEngineOptions options)
+    : options_(options) {
+  CUBIST_CHECK(snapshot != nullptr, "engine needs a cube snapshot");
+  init_telemetry();
+  const CubeLattice lattice(snapshot->sizes());
+  num_view_slots_ = lattice.num_views();
+  view_freq_ = std::make_unique<std::atomic<std::int64_t>[]>(
+      static_cast<std::size_t>(num_view_slots_));
+  const std::vector<DimSet> views = snapshot->materialized_views();
+  partial_snapshot_.store(
+      std::make_shared<const PartialSnapshot>(PartialSnapshot{
+          std::move(snapshot), AncestorTable::build(lattice, views)}),
+      std::memory_order_release);
+}
+
+void QueryEngine::init_telemetry() {
   CUBIST_CHECK(options_.cache_budget_bytes >= 0,
                "cache budget must be non-negative");
   CUBIST_CHECK(options_.max_workers >= 0,
@@ -28,73 +104,104 @@ QueryEngine::QueryEngine(std::shared_ptr<const CubeResult> snapshot,
   }
 }
 
-QueryResult QueryEngine::compute(const Query& query) const {
-  QueryResult result;
-  result.kind = query.kind;
-  switch (query.kind) {
-    case QueryKind::kPoint:
-      result.scalar = snapshot_->query(query.view, query.coords);
-      break;
-    case QueryKind::kSlice:
-      result.array =
-          cubist::slice(snapshot_->view(query.view), query.dim, query.index);
-      break;
-    case QueryKind::kDice:
-      result.array =
-          cubist::dice(snapshot_->view(query.view), query.lo, query.hi);
-      break;
-    case QueryKind::kRollup:
-      result.array = cubist::rollup(snapshot_->view(query.view), query.dim,
-                                    query.mapping, query.coarse_extent);
-      break;
-    case QueryKind::kTopK:
-      result.topk = cubist::top_k(snapshot_->view(query.view), query.k);
-      break;
+const CubeResult& QueryEngine::snapshot() const {
+  CUBIST_CHECK(snapshot_ != nullptr,
+               "snapshot() is only valid on a full-cube engine");
+  return *snapshot_;
+}
+
+std::shared_ptr<const PartialCube> QueryEngine::partial_snapshot() const {
+  CUBIST_CHECK(serves_partial(),
+               "partial_snapshot() needs a PartialCube engine");
+  return partial_snapshot_.load(std::memory_order_acquire)->cube;
+}
+
+QueryResult QueryEngine::compute(const Query& query,
+                                 std::int64_t* cells) const {
+  if (query.kind == QueryKind::kPoint) {
+    QueryResult result;
+    result.kind = query.kind;
+    result.scalar = snapshot_->query(query.view, query.coords);
+    *cells = 1;
+    return result;
   }
+  const DenseArray& view = snapshot_->view(query.view);
+  QueryResult result = apply_to_view(query, view);
+  *cells = direct_cells(query, view);
   return result;
 }
 
-double QueryEngine::scan_cost(const Query& query) const {
-  const DenseArray& view = snapshot_->view(query.view);
-  switch (query.kind) {
-    case QueryKind::kPoint:
-      return 1.0;
-    case QueryKind::kSlice: {
-      const std::int64_t extent = view.shape().extent(query.dim);
-      return extent > 0 ? static_cast<double>(view.size() / extent) : 1.0;
-    }
-    case QueryKind::kDice: {
-      double cells = 1.0;
-      for (std::size_t d = 0; d < query.lo.size(); ++d) {
-        cells *= static_cast<double>(query.hi[d] - query.lo[d]);
-      }
-      return cells;
-    }
-    case QueryKind::kRollup:
-    case QueryKind::kTopK:
-      return static_cast<double>(view.size());
+QueryResult QueryEngine::compute_partial(const PartialSnapshot& snap,
+                                         const Query& query,
+                                         std::int64_t* cells) const {
+  const PartialCube& cube = *snap.cube;
+  const std::optional<DimSet> route = snap.routes.route(query.view);
+  if (query.kind == QueryKind::kPoint) {
+    QueryResult result;
+    result.kind = query.kind;
+    result.scalar = cube.query_from(route, query.view, query.coords, cells);
+    return result;
   }
-  CUBIST_ASSERT(false, "unknown QueryKind "
-                           << static_cast<int>(query.kind));
+  if (route && *route == query.view) {
+    const DenseArray& view = cube.view(query.view);
+    QueryResult result = apply_to_view(query, view);
+    *cells = direct_cells(query, view);
+    return result;
+  }
+  // Unmaterialized view: project the routed ancestor (or the raw input)
+  // down to it in one scan, then answer from the scratch array. The scan
+  // dominates the cost — |ancestor| cells (or nnz) — which is exactly
+  // what query_cost() charges this view.
+  const DenseArray scratch = cube.materialize_from(route, query.view, cells);
+  return apply_to_view(query, scratch);
 }
 
 std::shared_ptr<const QueryResult> QueryEngine::execute(const Query& query) {
   const Timer timer;
   queries_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_ptr<const PartialSnapshot> snap;
+  std::uint32_t routed_mask = query.view.mask();
+  if (serves_partial()) {
+    // Pin one generation for the whole query; replan() swaps underneath
+    // without ever invalidating it.
+    snap = partial_snapshot_.load(std::memory_order_acquire);
+    view_freq_[query.view.mask()].fetch_add(1, std::memory_order_relaxed);
+    const std::optional<DimSet> route = snap->routes.route(query.view);
+    if (!route) {
+      routed_mask = DimSet::full(snap->cube->ndims()).mask();
+      routed_input_.fetch_add(1, std::memory_order_relaxed);
+    } else if (*route == query.view) {
+      routed_direct_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      routed_mask = route->mask();
+      routed_ancestor_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    routed_direct_.fetch_add(1, std::memory_order_relaxed);
+  }
   // Point queries bypass the cache: one array load is cheaper than one
   // cache probe, and memoizing 8-byte scalars only churns the index.
   const bool cacheable = cache_ != nullptr && query.kind != QueryKind::kPoint;
   std::string key;
   if (cacheable) {
-    key = query.cache_key();
+    // Keyed by the ROUTED view: answers are route-invariant, so entries
+    // cached under a pre-replan routing stay correct and simply age out
+    // of the budget once their key is no longer produced.
+    key = std::to_string(routed_mask);
+    key += '|';
+    key += query.cache_key();
     if (std::shared_ptr<const QueryResult> hit = cache_->get(key)) {
       record_latency(query.kind, timer.elapsed_seconds() * 1e6);
       return hit;
     }
   }
-  auto result = std::make_shared<const QueryResult>(compute(query));
+  std::int64_t cells = 0;
+  auto result = std::make_shared<const QueryResult>(
+      snap ? compute_partial(*snap, query, &cells) : compute(query, &cells));
+  class_cells_[static_cast<std::size_t>(query.kind)].fetch_add(
+      cells, std::memory_order_relaxed);
   if (cacheable) {
-    cache_->put(key, result, scan_cost(query));
+    cache_->put(key, result, static_cast<double>(cells));
   }
   record_latency(query.kind, timer.elapsed_seconds() * 1e6);
   return result;
@@ -120,6 +227,59 @@ std::vector<std::shared_ptr<const QueryResult>> QueryEngine::execute_batch(
   return results;
 }
 
+std::vector<std::int64_t> QueryEngine::view_frequencies() const {
+  CUBIST_CHECK(serves_partial(),
+               "view_frequencies() needs a PartialCube engine");
+  std::vector<std::int64_t> freq(static_cast<std::size_t>(num_view_slots_));
+  for (std::size_t i = 0; i < freq.size(); ++i) {
+    freq[i] = view_freq_[i].load(std::memory_order_relaxed);
+  }
+  return freq;
+}
+
+QueryEngine::ReplanReport QueryEngine::replan(std::int64_t budget_bytes) {
+  CUBIST_CHECK(serves_partial(), "replan() needs a PartialCube engine");
+  // Serialize re-planners; readers are never blocked — each pins the
+  // generation current at its start and finishes against it.
+  const std::lock_guard<std::mutex> lock(replan_mutex_);
+  const std::shared_ptr<const PartialSnapshot> current =
+      partial_snapshot_.load(std::memory_order_acquire);
+  const PartialCube& cube = *current->cube;
+  const CubeLattice lattice(cube.sizes());
+  ViewSelection selection = select_views_weighted(
+      lattice, budget_bytes, view_frequencies(),
+      static_cast<std::int64_t>(sizeof(Value)));
+  // The memory verifier certifies the selection before any bytes move;
+  // an over-budget plan throws here and the old generation keeps
+  // serving untouched.
+  const std::int64_t certified =
+      certify_selection_bytes(lattice, selection.views, budget_bytes,
+                              static_cast<std::int64_t>(sizeof(Value)));
+  BuildStats build_stats;
+  auto next_cube = std::make_shared<const PartialCube>(
+      PartialCube::build(cube.input_ptr(), selection.views, &build_stats));
+  ReplanReport report;
+  report.budget_bytes = budget_bytes;
+  report.certified_bytes = certified;
+  report.materialized_bytes = next_cube->materialized_bytes();
+  report.build_cells_scanned = build_stats.cells_scanned;
+  partial_snapshot_.store(
+      std::make_shared<const PartialSnapshot>(PartialSnapshot{
+          std::move(next_cube),
+          AncestorTable::build(lattice, selection.views)}),
+      std::memory_order_release);
+  report.views = std::move(selection.views);
+  return report;
+}
+
+std::int64_t QueryEngine::cells_scanned_total() const {
+  std::int64_t total = 0;
+  for (const auto& cells : class_cells_) {
+    total += cells.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
 void QueryEngine::record_latency(QueryKind kind, double micros) {
   std::lock_guard<std::mutex> lock(telemetry_mutex_);
   sketches_[static_cast<std::size_t>(kind)].add(micros);
@@ -131,6 +291,16 @@ ServingStats QueryEngine::stats() const {
   stats.queries = queries_.load(std::memory_order_relaxed);
   stats.cache_enabled = cache_ != nullptr;
   if (cache_ != nullptr) stats.cache = cache_->stats();
+  for (int i = 0; i < kNumQueryKinds; ++i) {
+    const std::int64_t cells =
+        class_cells_[static_cast<std::size_t>(i)].load(
+            std::memory_order_relaxed);
+    stats.class_cells_scanned[static_cast<std::size_t>(i)] = cells;
+    stats.cells_scanned += cells;
+  }
+  stats.routed_direct = routed_direct_.load(std::memory_order_relaxed);
+  stats.routed_ancestor = routed_ancestor_.load(std::memory_order_relaxed);
+  stats.routed_input = routed_input_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(telemetry_mutex_);
   for (int i = 0; i <= kNumQueryKinds; ++i) {
     const QuantileSketch& sketch = sketches_[static_cast<std::size_t>(i)];

@@ -1,30 +1,45 @@
 // QueryEngine: concurrent OLAP serving over an immutable cube snapshot.
 //
-// The engine layers three pieces over CubeResult + core/olap_query:
+// The engine layers four pieces over CubeResult / PartialCube +
+// core/olap_query:
 //
-//  * Snapshot reads. The engine holds a shared_ptr<const CubeResult> and
-//    every query computes from that immutable snapshot — concurrent
-//    readers share nothing mutable on the cube read path and take no
-//    locks there. Refresh pipelines swap in a new snapshot by building a
-//    new engine; in-flight queries keep the old cube alive.
+//  * Snapshot reads. The engine serves either a full cube
+//    (shared_ptr<const CubeResult>) or a partially materialized one
+//    (shared_ptr<const PartialCube>); every query computes from an
+//    immutable snapshot — concurrent readers share nothing mutable on
+//    the cube read path and take no locks there.
 //
-//  * Hot-slice caching. Computed slices/dices/roll-ups/top-ks are
-//    memoized in a cost-weighted, byte-budgeted SliceCache keyed by the
-//    canonical query descriptor. Point queries bypass the cache (a point
-//    read is one array load; memoizing it costs more than computing it).
-//    The cache is internally locked, but a hit or miss only touches the
-//    cache index, never the cube.
+//  * Minimal-ancestor routing (partial snapshots). A precomputed
+//    AncestorTable resolves every query's view to its cheapest
+//    materialized ancestor (Theorem-7 minimal-parent chain as fallback);
+//    unmaterialized views are projected out of the routed ancestor — or
+//    the raw input — on the fly. ServingStats records cells_scanned per
+//    query class plus routing outcomes, so the linear cost model the
+//    view selection optimizes is directly observable.
 //
-//  * Latency telemetry. Per-query-class (point/slice/dice/rollup/topk)
-//    latencies stream into bounded-memory QuantileSketches so
-//    ServingStats reports true p50/p99/p999 percentiles, not means.
+//  * Workload feedback. A lock-cheap per-view frequency counter (one
+//    relaxed fetch_add per query) records which views the stream hits;
+//    replan() feeds it to the frequency-weighted benefit-per-byte greedy
+//    (select_views_weighted), certifies the chosen set against the byte
+//    budget via the memory verifier, rebuilds a PartialCube from the
+//    SAME shared input, and atomically swaps the snapshot — in-flight
+//    queries keep the old generation alive, same immutability contract
+//    as a refresh.
+//
+//  * Hot-slice caching + latency telemetry. Computed results are
+//    memoized in a cost-weighted SliceCache keyed by the ROUTED view
+//    plus the canonical query descriptor (answers are route-invariant,
+//    so entries cached before a re-plan stay correct and simply age
+//    out). Point queries bypass the cache. Per-class latencies stream
+//    into bounded-memory QuantileSketches.
 //
 // Batches run through the shared ThreadPool's chunked parallel_for (one
 // query per chunk), inheriting its exception propagation and per-rank
 // budget behavior; `max_workers` caps a batch's concurrency, modeling N
 // concurrent clients. Determinism contract: for a fixed snapshot, the
 // results of a batch are bit-identical for every pool size and with the
-// cache on or off (tests/serving/serving_determinism_test.cpp).
+// cache on or off (tests/serving/serving_determinism_test.cpp and
+// tests/serving/partial_serving_test.cpp).
 #pragma once
 
 #include <array>
@@ -37,6 +52,8 @@
 #include "common/quantile_sketch.h"
 #include "common/thread_pool.h"
 #include "core/cube_result.h"
+#include "core/partial_cube.h"
+#include "lattice/ancestor_table.h"
 #include "serving/query.h"
 #include "serving/slice_cache.h"
 
@@ -78,13 +95,34 @@ struct ServingStats {
   /// sketches can never exceed.
   std::int64_t sketch_memory_bytes = 0;
   std::int64_t sketch_memory_bound_bytes = 0;
+  /// Cells scanned computing answers (cache hits scan nothing): the
+  /// linear-cost-model work metric minimal-ancestor routing minimizes,
+  /// total and per query class.
+  std::int64_t cells_scanned = 0;
+  std::array<std::int64_t, kNumQueryKinds> class_cells_scanned{};
+  /// Routing outcomes — every query is classified against the routing
+  /// table, cache hits included (full-cube snapshots always count as
+  /// direct): served from the query's own materialized view, from a
+  /// materialized ancestor, or from the raw input.
+  std::int64_t routed_direct = 0;
+  std::int64_t routed_ancestor = 0;
+  std::int64_t routed_input = 0;
 };
 
 class QueryEngine {
  public:
-  /// `snapshot` must be non-null; the engine shares ownership, so the
-  /// cube outlives every in-flight query.
+  /// Serves a fully materialized cube. `snapshot` must be non-null; the
+  /// engine shares ownership, so the cube outlives every in-flight
+  /// query.
   explicit QueryEngine(std::shared_ptr<const CubeResult> snapshot,
+                       QueryEngineOptions options = {});
+
+  /// Serves a partially materialized cube: queries on any lattice view
+  /// are routed to their cheapest materialized ancestor via a
+  /// precomputed AncestorTable and the residual dimensions are
+  /// aggregated on the fly. Answers are identical to the full-cube
+  /// engine's for every routing path.
+  explicit QueryEngine(std::shared_ptr<const PartialCube> snapshot,
                        QueryEngineOptions options = {});
 
   /// Executes one query (validating it against the snapshot; rejections
@@ -100,20 +138,72 @@ class QueryEngine {
 
   ServingStats stats() const;
 
-  const CubeResult& snapshot() const { return *snapshot_; }
+  /// Total cells scanned so far — the cells_scanned field of stats()
+  /// without the quantile-sketch work; cheap enough to sample per query.
+  std::int64_t cells_scanned_total() const;
+
+  /// Full-cube snapshot accessor; only valid when the engine was built
+  /// over a CubeResult.
+  const CubeResult& snapshot() const;
   bool cache_enabled() const { return cache_ != nullptr; }
 
+  bool serves_partial() const { return view_freq_ != nullptr; }
+  /// The current partial-cube generation (partial engines only). Swapped
+  /// atomically by replan(); callers get a consistent pinned snapshot.
+  std::shared_ptr<const PartialCube> partial_snapshot() const;
+
+  /// Observed per-view query counts, indexed by view mask — the feedback
+  /// signal replan() optimizes (partial engines only).
+  std::vector<std::int64_t> view_frequencies() const;
+
+  /// Outcome of one replan() cycle.
+  struct ReplanReport {
+    std::vector<DimSet> views;           // the new materialized set
+    std::int64_t budget_bytes = 0;
+    std::int64_t certified_bytes = 0;    // memory-verifier peak, <= budget
+    std::int64_t materialized_bytes = 0; // actual bytes of the new cube
+    std::int64_t build_cells_scanned = 0;
+  };
+
+  /// Re-plans the materialized set under `budget_bytes` from the
+  /// observed view frequencies: weighted benefit-per-byte selection,
+  /// byte-budget certification through the memory verifier, rebuild from
+  /// the shared input, atomic snapshot swap. Concurrent queries are
+  /// never blocked — each pins one generation for its whole execution.
+  /// Partial engines only.
+  ReplanReport replan(std::int64_t budget_bytes);
+
  private:
-  /// Computes the answer from the snapshot (no cache, no telemetry).
-  QueryResult compute(const Query& query) const;
-  /// Input cells scanned to answer `query` — the cache cost weight.
-  double scan_cost(const Query& query) const;
+  /// One atomically swappable serving generation.
+  struct PartialSnapshot {
+    std::shared_ptr<const PartialCube> cube;
+    AncestorTable routes;
+  };
+
+  /// Option validation, cache and sketch setup shared by both ctors.
+  void init_telemetry();
+  /// Computes the answer from the full snapshot; `cells` reports the
+  /// cells scanned (the cache cost weight).
+  QueryResult compute(const Query& query, std::int64_t* cells) const;
+  /// Computes the answer from a pinned partial generation.
+  QueryResult compute_partial(const PartialSnapshot& snap,
+                              const Query& query, std::int64_t* cells) const;
   void record_latency(QueryKind kind, double micros);
 
-  std::shared_ptr<const CubeResult> snapshot_;
+  std::shared_ptr<const CubeResult> snapshot_;  // full mode only
+  std::atomic<std::shared_ptr<const PartialSnapshot>> partial_snapshot_;
   QueryEngineOptions options_;
   std::unique_ptr<SliceCache> cache_;
   std::atomic<std::int64_t> queries_{0};
+  // Per-view query counts (partial mode; size = 2^ndims). A plain array
+  // of relaxed atomics: one uncontended fetch_add per query.
+  std::unique_ptr<std::atomic<std::int64_t>[]> view_freq_;
+  std::int64_t num_view_slots_ = 0;
+  std::array<std::atomic<std::int64_t>, kNumQueryKinds> class_cells_{};
+  std::atomic<std::int64_t> routed_direct_{0};
+  std::atomic<std::int64_t> routed_ancestor_{0};
+  std::atomic<std::int64_t> routed_input_{0};
+  std::mutex replan_mutex_;  // serializes re-planners, never readers
   mutable std::mutex telemetry_mutex_;
   std::vector<QuantileSketch> sketches_;  // one per QueryKind + overall
 };

@@ -5,24 +5,25 @@
 #include <utility>
 
 #include "common/error.h"
+#include "lattice/cube_lattice.h"
 
 namespace cubist::serving {
 
 namespace {
 
-// Universe enumeration walks every stored view; per view it emits slices
-// (every dimension position x every index), uniform roll-ups, one
-// lower-half dice, top-ks, and a few point probes.
-void enumerate_view(const CubeResult& cube, DimSet view,
+// Universe enumeration walks every view; per view it emits slices (every
+// dimension position x every index), uniform roll-ups, one lower-half
+// dice, top-ks, and a few point probes. Driven by the view's SHAPE only,
+// so the full-cube and lattice constructors emit identical descriptors.
+void enumerate_view(const Shape& shape, DimSet view,
                     std::vector<Query>* out) {
-  const DenseArray& array = cube.view(view);
-  const int m = array.ndim();
+  const int m = shape.ndim();
   if (m == 0) {
     out->push_back(Query::point(view, {}));
     return;
   }
   for (int dim = 0; dim < m; ++dim) {
-    const std::int64_t extent = array.shape().extent(dim);
+    const std::int64_t extent = shape.extent(dim);
     for (std::int64_t index = 0; index < extent; ++index) {
       out->push_back(Query::slice(view, dim, index));
     }
@@ -40,7 +41,7 @@ void enumerate_view(const CubeResult& cube, DimSet view,
   std::vector<std::int64_t> hi(static_cast<std::size_t>(m));
   bool nonempty = true;
   for (int dim = 0; dim < m; ++dim) {
-    const std::int64_t extent = array.shape().extent(dim);
+    const std::int64_t extent = shape.extent(dim);
     hi[static_cast<std::size_t>(dim)] = std::max<std::int64_t>(1, extent / 2);
     nonempty = nonempty && extent >= 1;
   }
@@ -51,25 +52,51 @@ void enumerate_view(const CubeResult& cube, DimSet view,
     out->push_back(Query::top_k(view, k));
   }
   // Point probes at deterministic positions spread across the view.
-  const std::int64_t cells = array.size();
+  const std::int64_t cells = shape.size();
   for (std::int64_t probe = 0; probe < 4 && probe < cells; ++probe) {
     const std::int64_t linear = (probe * cells) / 4;
     std::vector<std::int64_t> coords(static_cast<std::size_t>(m));
-    array.shape().unravel(linear, coords.data());
+    shape.unravel(linear, coords.data());
     out->push_back(Query::point(view, std::move(coords)));
   }
+}
+
+Shape view_shape(const std::vector<std::int64_t>& sizes, DimSet view) {
+  std::vector<std::int64_t> extents;
+  for (int d : view.dims()) {
+    extents.push_back(sizes[static_cast<std::size_t>(d)]);
+  }
+  return Shape{extents};
 }
 
 }  // namespace
 
 WorkloadGenerator::WorkloadGenerator(const CubeResult& cube, WorkloadSpec spec)
     : spec_(spec), rng_(spec.seed) {
-  CUBIST_CHECK(spec.max_universe >= 1, "max_universe must be positive");
-  CUBIST_CHECK(spec.zipf_exponent > 0.0, "zipf exponent must be positive");
   CUBIST_CHECK(cube.num_views() > 0, "workload needs a non-empty cube");
   for (DimSet view : cube.stored_views()) {
-    enumerate_view(cube, view, &universe_);
+    enumerate_view(cube.view(view).shape(), view, &universe_);
   }
+  finalize();
+}
+
+WorkloadGenerator::WorkloadGenerator(const std::vector<std::int64_t>& sizes,
+                                     WorkloadSpec spec)
+    : spec_(spec), rng_(spec.seed) {
+  CUBIST_CHECK(!sizes.empty(), "workload needs at least one dimension");
+  CUBIST_CHECK(sizes.size() <= 16, "universe enumeration is exponential");
+  const CubeLattice lattice(sizes);
+  const DimSet root = DimSet::full(lattice.ndims());
+  for (DimSet view : lattice.all_views()) {
+    if (view == root) continue;
+    enumerate_view(view_shape(sizes, view), view, &universe_);
+  }
+  finalize();
+}
+
+void WorkloadGenerator::finalize() {
+  CUBIST_CHECK(spec_.max_universe >= 1, "max_universe must be positive");
+  CUBIST_CHECK(spec_.zipf_exponent > 0.0, "zipf exponent must be positive");
   CUBIST_ASSERT(!universe_.empty(), "universe enumeration produced nothing");
   // Deterministic Fisher-Yates with a fixed (spec-independent) seed so
   // Zipf ranks interleave query classes instead of clustering the hot

@@ -41,6 +41,14 @@ class WorkloadGenerator {
   /// store at least one view.
   WorkloadGenerator(const CubeResult& cube, WorkloadSpec spec);
 
+  /// Builds the query universe over EVERY proper view of the lattice with
+  /// these dimension extents — the partial-serving stream, where queries
+  /// target any view whether or not it is materialized. Per-view
+  /// descriptor enumeration is identical to the CubeResult constructor,
+  /// so a full-cube engine can replay the same stream as an oracle.
+  WorkloadGenerator(const std::vector<std::int64_t>& sizes,
+                    WorkloadSpec spec);
+
   /// The sampled-from universe (after shuffle + cap), hottest rank first
   /// under Zipfian skew.
   const std::vector<Query>& universe() const { return universe_; }
@@ -52,6 +60,8 @@ class WorkloadGenerator {
   std::vector<Query> batch(int n);
 
  private:
+  /// Shared constructor tail: shuffle, cap, and Zipf CDF setup.
+  void finalize();
   std::size_t next_rank();
 
   WorkloadSpec spec_;

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "core/view_selection.h"
 #include "io/generators.h"
+#include "lattice/memory_sim.h"
 
 namespace cubist {
 namespace {
@@ -118,6 +121,85 @@ TEST(PartialCubeTest, UnmaterializedDirectAccessThrows) {
   const SparseArray input = make_input();
   PartialCube cube = PartialCube::build(input, {DimSet::of({0})});
   EXPECT_THROW(cube.view(DimSet::of({1})), InvalidArgument);
+}
+
+TEST(PartialCubeTest, SharedInputIsNotCopiedAcrossGenerations) {
+  // The re-plan contract (and the fix for the old by-copy retention):
+  // every cube generation built from the same shared_ptr aliases ONE
+  // input array, so a re-plan cycle never doubles the input footprint.
+  const auto input = std::make_shared<const SparseArray>(make_input());
+  const PartialCube first =
+      PartialCube::build(input, {DimSet::of({0, 1})});
+  const PartialCube second =
+      PartialCube::build(first.input_ptr(), {DimSet::of({1, 2})});
+  EXPECT_EQ(first.input_ptr().get(), input.get());
+  EXPECT_EQ(second.input_ptr().get(), input.get());
+  EXPECT_EQ(&first.input(), &second.input());
+  // Caller + two generations share the array; nobody holds a copy.
+  EXPECT_EQ(input.use_count(), 3);
+}
+
+TEST(PartialCubeTest, PeakAccountingExcludesTheSharedInput) {
+  // peak_scratch_bytes-style accounting of a re-plan cycle: with the
+  // input shared, the peak while both generations are alive is input +
+  // the two materialized sets — NOT two inputs. Replaying the ledger
+  // with the old by-copy behavior exceeds exactly by the input's bytes.
+  const auto input = std::make_shared<const SparseArray>(make_input());
+  const std::int64_t input_bytes = input->bytes();
+  BuildStats first_stats;
+  BuildStats second_stats;
+  const PartialCube first =
+      PartialCube::build(input, {DimSet::of({0, 1})}, &first_stats);
+  const PartialCube second = PartialCube::build(
+      first.input_ptr(), {DimSet::of({1, 2})}, &second_stats);
+  EXPECT_EQ(first_stats.peak_live_bytes, first.materialized_bytes());
+  EXPECT_EQ(second_stats.peak_live_bytes, second.materialized_bytes());
+  MemoryLedger shared_ledger;
+  shared_ledger.alloc(input_bytes);  // the one shared input
+  shared_ledger.alloc(first_stats.peak_live_bytes);
+  shared_ledger.alloc(second_stats.peak_live_bytes);
+  MemoryLedger copied_ledger;  // what by-copy retention would cost
+  copied_ledger.alloc(2 * input_bytes);
+  copied_ledger.alloc(first_stats.peak_live_bytes);
+  copied_ledger.alloc(second_stats.peak_live_bytes);
+  EXPECT_EQ(copied_ledger.peak_bytes() - shared_ledger.peak_bytes(),
+            input_bytes);
+}
+
+TEST(PartialCubeTest, MaterializeMatchesFullCubeOnEveryView) {
+  const SparseArray input = make_input();
+  const CubeResult full = build_cube_sequential(input);
+  const CubeLattice lattice(input.shape().extents());
+  PartialCube cube = PartialCube::build(
+      input, {DimSet::of({0, 1}), DimSet::of({1, 2})});
+  for (DimSet view : lattice.all_views()) {
+    if (view == DimSet::full(3)) continue;
+    std::int64_t cells = 0;
+    const DenseArray array = cube.materialize(view, &cells);
+    EXPECT_EQ(array, full.view(view)) << view.to_string();
+    // The scan charges |ancestor| (dense route) or nnz (input route).
+    if (cube.is_materialized(view)) {
+      EXPECT_EQ(cells, lattice.view_cells(view));
+    } else if (view.is_subset_of(DimSet::of({0, 1})) ||
+               view.is_subset_of(DimSet::of({1, 2}))) {
+      EXPECT_EQ(cells, query_cost(lattice, cube.materialized_views(), view));
+    } else {
+      EXPECT_EQ(cells, input.nnz());
+    }
+  }
+}
+
+TEST(PartialCubeTest, MaterializeFromValidatesTheSource) {
+  const SparseArray input = make_input();
+  PartialCube cube = PartialCube::build(input, {DimSet::of({0, 1})});
+  // Not a superset of the requested view.
+  EXPECT_THROW(cube.materialize_from(DimSet::of({0, 1}), DimSet::of({2})),
+               InvalidArgument);
+  // Not materialized.
+  EXPECT_THROW(cube.materialize_from(DimSet::of({0, 2}), DimSet::of({0})),
+               InvalidArgument);
+  EXPECT_THROW(cube.query_from(DimSet::of({0, 2}), DimSet::of({0}), {3}),
+               InvalidArgument);
 }
 
 TEST(PartialCubeTest, GreedySelectionBeatsWorstSelectionOnMeasuredCost) {

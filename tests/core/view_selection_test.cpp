@@ -146,5 +146,110 @@ TEST(GreedySelectionTest, InvalidKThrows) {
   EXPECT_THROW(select_views_greedy(lattice, 4), InvalidArgument);
 }
 
+namespace {
+std::vector<std::int64_t> uniform_freq(const CubeLattice& lattice) {
+  return std::vector<std::int64_t>(
+      static_cast<std::size_t>(lattice.num_views()), 1);
+}
+}  // namespace
+
+TEST(WeightedSelectionTest, RespectsTheByteBudget) {
+  const CubeLattice lattice({16, 8, 4, 2});
+  for (std::int64_t budget : {std::int64_t{0}, std::int64_t{100},
+                              std::int64_t{2000}, std::int64_t{100000}}) {
+    const ViewSelection selection =
+        select_views_weighted(lattice, budget, uniform_freq(lattice), 8);
+    EXPECT_LE(selection_storage_cells(lattice, selection.views) * 8, budget);
+  }
+}
+
+TEST(WeightedSelectionTest, ZeroFrequenciesDegradeToUniformWeights) {
+  const CubeLattice lattice({16, 8, 4});
+  const std::vector<std::int64_t> zeros(
+      static_cast<std::size_t>(lattice.num_views()), 0);
+  const ViewSelection cold =
+      select_views_weighted(lattice, 4096, zeros, 8);
+  const ViewSelection uniform =
+      select_views_weighted(lattice, 4096, uniform_freq(lattice), 8);
+  EXPECT_EQ(cold.views, uniform.views);
+}
+
+TEST(WeightedSelectionTest, HotViewsWinUnderATightBudget) {
+  // All traffic hits {1,2}: the weighted greedy must materialize {1,2}
+  // first (views with zero observed traffic have zero benefit), while
+  // the uniform baseline starts from the cheapest-per-byte view — the
+  // scalar — because benefit-per-byte favors small storage.
+  const CubeLattice lattice({16, 8, 4});
+  std::vector<std::int64_t> freq(
+      static_cast<std::size_t>(lattice.num_views()), 0);
+  freq[DimSet::of({1, 2}).mask()] = 1000;
+  const std::int64_t budget = lattice.view_cells(DimSet::of({0, 1})) * 8;
+  const ViewSelection hot = select_views_weighted(lattice, budget, freq, 8);
+  ASSERT_FALSE(hot.views.empty());
+  EXPECT_EQ(hot.views.front(), DimSet::of({1, 2}));
+  EXPECT_EQ(hot.views.size(), 1u);  // nothing else carries traffic
+  const ViewSelection uniform =
+      select_views_weighted(lattice, budget, uniform_freq(lattice), 8);
+  ASSERT_FALSE(uniform.views.empty());
+  EXPECT_EQ(uniform.views.front(), DimSet());
+}
+
+TEST(WeightedSelectionTest, StopsWhenNoCandidateHelps) {
+  // Once every weighted view is answered at its own size, further views
+  // have zero benefit; the selection must stop below the budget instead
+  // of hoarding storage.
+  const CubeLattice lattice({4, 2});
+  const ViewSelection selection = select_views_weighted(
+      lattice, std::int64_t{1} << 40, uniform_freq(lattice), 8);
+  EXPECT_EQ(static_cast<std::int64_t>(selection.views.size()),
+            lattice.num_views() - 1);
+  for (const SelectionStep& step : selection.steps) {
+    EXPECT_GT(step.benefit, 0);
+  }
+}
+
+TEST(WeightedSelectionTest, WeightedCostNeverWorseThanUniformOnItsWorkload) {
+  // The adaptive contract the serving bench enforces: at equal budget,
+  // the frequency-weighted selection answers its own workload at no more
+  // total weighted cost than the static size-based selection.
+  const CubeLattice lattice({16, 8, 4, 2});
+  std::vector<std::int64_t> freq(
+      static_cast<std::size_t>(lattice.num_views()), 0);
+  freq[DimSet::of({3}).mask()] = 500;
+  freq[DimSet::of({1, 3}).mask()] = 300;
+  freq[DimSet::of({0}).mask()] = 10;
+  const std::int64_t budget = 64 * 8;
+  const ViewSelection adaptive =
+      select_views_weighted(lattice, budget, freq, 8);
+  const ViewSelection uniform =
+      select_views_weighted(lattice, budget, uniform_freq(lattice), 8);
+  auto weighted_cost = [&](const std::vector<DimSet>& views) {
+    std::int64_t total = 0;
+    for (std::uint32_t mask = 0;
+         mask < static_cast<std::uint32_t>(lattice.num_views()); ++mask) {
+      total += freq[mask] * query_cost(lattice, views,
+                                       DimSet::from_mask(mask));
+    }
+    return total;
+  };
+  EXPECT_LE(weighted_cost(adaptive.views), weighted_cost(uniform.views));
+}
+
+TEST(WeightedSelectionTest, InvalidArgumentsThrow) {
+  const CubeLattice lattice({4, 4});
+  EXPECT_THROW(
+      select_views_weighted(lattice, -1, uniform_freq(lattice), 8),
+      InvalidArgument);
+  EXPECT_THROW(select_views_weighted(lattice, 1024, {1, 2, 3}, 8),
+               InvalidArgument);
+  std::vector<std::int64_t> negative = uniform_freq(lattice);
+  negative[1] = -5;
+  EXPECT_THROW(select_views_weighted(lattice, 1024, negative, 8),
+               InvalidArgument);
+  EXPECT_THROW(
+      select_views_weighted(lattice, 1024, uniform_freq(lattice), 0),
+      InvalidArgument);
+}
+
 }  // namespace
 }  // namespace cubist

@@ -95,5 +95,34 @@ TEST(ParallelMemoryBoundTest, RankMismatchThrows) {
   EXPECT_THROW(parallel_memory_bound(lattice, {1}, kCell), InvalidArgument);
 }
 
+TEST(CertifySelectionTest, CertifiesExactResidentBytes) {
+  const CubeLattice lattice({8, 4, 2});
+  const std::vector<DimSet> views{DimSet::of({0, 1}), DimSet::of({2})};
+  const std::int64_t expected = (32 + 2) * kCell;
+  EXPECT_EQ(certify_selection_bytes(lattice, views, expected, kCell),
+            expected);
+  // Any budget above the footprint certifies the same peak.
+  EXPECT_EQ(certify_selection_bytes(lattice, views, expected * 10, kCell),
+            expected);
+}
+
+TEST(CertifySelectionTest, OverBudgetSelectionIsRejected) {
+  const CubeLattice lattice({8, 4, 2});
+  const std::vector<DimSet> views{DimSet::of({0, 1}), DimSet::of({2})};
+  EXPECT_THROW(certify_selection_bytes(lattice, views, (32 + 2) * kCell - 1,
+                                       kCell),
+               InvalidArgument);
+}
+
+TEST(CertifySelectionTest, RootAndForeignViewsAreRejected) {
+  const CubeLattice lattice({8, 4});
+  EXPECT_THROW(
+      certify_selection_bytes(lattice, {DimSet::full(2)}, 1 << 20, kCell),
+      InvalidArgument);
+  EXPECT_THROW(
+      certify_selection_bytes(lattice, {DimSet::of({2})}, 1 << 20, kCell),
+      InvalidArgument);
+}
+
 }  // namespace
 }  // namespace cubist

@@ -1,0 +1,326 @@
+// Partial-materialization serving: the equivalence matrix (any selected
+// subset, any routing path, any pool size — bit-identical to the
+// full-cube answers), exact agreement between query_cost() and measured
+// cells_scanned, workload feedback counters, and replan()'s atomic
+// snapshot swap under concurrent queries. The TSan CI preset runs the
+// swap test with real concurrency, proving readers never synchronize
+// with re-planners beyond the snapshot pointer.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/olap_query.h"
+#include "core/sequential_builder.h"
+#include "core/view_selection.h"
+#include "io/generators.h"
+#include "lattice/cube_lattice.h"
+#include "serving/query_engine.h"
+#include "serving/workload.h"
+
+namespace cubist::serving {
+namespace {
+
+std::shared_ptr<const SparseArray> make_input(
+    std::vector<std::int64_t> sizes, double density = 0.3,
+    std::uint64_t seed = 99) {
+  SparseSpec spec;
+  spec.sizes = std::move(sizes);
+  spec.density = density;
+  spec.seed = seed;
+  return std::make_shared<const SparseArray>(generate_sparse_global(spec));
+}
+
+std::vector<QueryResult> run_partial_cell(
+    const std::shared_ptr<const PartialCube>& cube,
+    const std::vector<Query>& batch, int pool_size, bool cache_on) {
+  ThreadPool pool(pool_size);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  options.max_workers = pool_size;
+  options.cache_budget_bytes = cache_on ? (std::int64_t{8} << 20) : 0;
+  QueryEngine engine(cube, options);
+  const auto shared = engine.execute_batch(batch);
+  std::vector<QueryResult> results;
+  results.reserve(shared.size());
+  for (const auto& r : shared) results.push_back(*r);
+  return results;
+}
+
+TEST(PartialServingTest, EquivalenceMatrixAcrossSelectionsAndPools) {
+  const auto input = make_input({8, 6, 5});
+  const CubeLattice lattice(input->shape().extents());
+  auto full = std::make_shared<const CubeResult>(build_cube_sequential(*input));
+
+  WorkloadSpec spec;
+  spec.skew = WorkloadSpec::Skew::kZipfian;
+  spec.zipf_exponent = 1.1;
+  spec.seed = 7;
+  WorkloadGenerator workload(input->shape().extents(), spec);
+  const std::vector<Query> batch = workload.batch(400);
+
+  // Oracle: the full-cube engine, single-threaded, uncached.
+  std::vector<QueryResult> baseline;
+  {
+    ThreadPool pool(1);
+    QueryEngineOptions options;
+    options.pool = &pool;
+    options.cache_budget_bytes = 0;
+    QueryEngine oracle(full, options);
+    for (const Query& query : batch) baseline.push_back(*oracle.execute(query));
+  }
+
+  std::vector<std::vector<DimSet>> selections;
+  selections.push_back({});  // everything routes to the input
+  selections.push_back(select_views_greedy(lattice, 2).views);
+  selections.push_back(
+      select_views_weighted(lattice, /*budget_bytes=*/64 * 8,
+                            std::vector<std::int64_t>(
+                                static_cast<std::size_t>(lattice.num_views()),
+                                1))
+          .views);
+  std::vector<DimSet> all_proper;
+  for (DimSet view : lattice.all_views()) {
+    if (view != DimSet::full(lattice.ndims())) all_proper.push_back(view);
+  }
+  selections.push_back(all_proper);
+
+  for (const std::vector<DimSet>& views : selections) {
+    const auto cube = std::make_shared<const PartialCube>(
+        PartialCube::build(input, views));
+    for (int pool_size : {1, 2, 8}) {
+      for (bool cache_on : {false, true}) {
+        const std::vector<QueryResult> cell =
+            run_partial_cell(cube, batch, pool_size, cache_on);
+        ASSERT_EQ(cell.size(), baseline.size());
+        for (std::size_t i = 0; i < cell.size(); ++i) {
+          ASSERT_EQ(cell[i], baseline[i])
+              << "views=" << views.size() << " pool=" << pool_size
+              << " cache=" << cache_on << " slot=" << i
+              << " key=" << batch[i].cache_key();
+        }
+      }
+    }
+  }
+}
+
+TEST(PartialServingTest, MeasuredCellsMatchQueryCostOnEveryView4D) {
+  // Satellite contract: the linear cost model the greedy optimizes is
+  // what serving actually does. Materializing every 3-dim view covers
+  // the whole 4-D lattice, so every query routes to a dense ancestor and
+  // measured cells must equal query_cost() EXACTLY on all 16 views.
+  const auto input = make_input({4, 3, 2, 3}, 0.4, 17);
+  const CubeLattice lattice(input->shape().extents());
+  const DimSet root = DimSet::full(4);
+  std::vector<DimSet> views;
+  for (DimSet view : lattice.all_views()) {
+    if (view != root && view.size() == 3) views.push_back(view);
+  }
+  const auto cube =
+      std::make_shared<const PartialCube>(PartialCube::build(input, views));
+  ThreadPool pool(1);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  options.cache_budget_bytes = 0;  // every query must do its scan
+  QueryEngine engine(cube, options);
+  std::int64_t cells_before = 0;
+  for (DimSet view : lattice.all_views()) {
+    if (view == root) continue;
+    engine.execute(Query::top_k(view, 4));
+    const std::int64_t cells_after = engine.stats().cells_scanned;
+    EXPECT_EQ(cells_after - cells_before,
+              query_cost(lattice, views, view))
+        << view.to_string();
+    cells_before = cells_after;
+  }
+  // Uncovered views fall through to the input, whose measured price is
+  // nnz — the data-aware refinement of the model's dense root charge.
+  const auto uncovered = std::make_shared<const PartialCube>(
+      PartialCube::build(input, {DimSet::of({3})}));
+  QueryEngine fallback(uncovered, options);
+  fallback.execute(Query::top_k(DimSet::of({0, 1}), 4));
+  EXPECT_EQ(fallback.stats().cells_scanned, input->nnz());
+  const ServingStats stats = fallback.stats();
+  EXPECT_EQ(stats.routed_input, 1);
+}
+
+TEST(PartialServingTest, StatsRecordRoutingAndPerClassCells) {
+  const auto input = make_input({6, 5, 4});
+  const std::vector<DimSet> views{DimSet::of({0, 1})};
+  const auto cube =
+      std::make_shared<const PartialCube>(PartialCube::build(input, views));
+  ThreadPool pool(1);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  options.cache_budget_bytes = 0;
+  QueryEngine engine(cube, options);
+
+  engine.execute(Query::top_k(DimSet::of({0, 1}), 3));  // direct
+  engine.execute(Query::top_k(DimSet::of({0}), 3));     // ancestor {0,1}
+  engine.execute(Query::top_k(DimSet::of({2}), 3));     // input
+  engine.execute(Query::point(DimSet::of({0, 1}), {2, 2}));  // direct point
+
+  const ServingStats stats = engine.stats();
+  EXPECT_EQ(stats.queries, 4);
+  EXPECT_EQ(stats.routed_direct, 2);
+  EXPECT_EQ(stats.routed_ancestor, 1);
+  EXPECT_EQ(stats.routed_input, 1);
+  const auto topk_cells = stats.class_cells_scanned[static_cast<std::size_t>(
+      QueryKind::kTopK)];
+  EXPECT_EQ(topk_cells, 30 + 30 + input->nnz());
+  EXPECT_EQ(stats.class_cells_scanned[static_cast<std::size_t>(
+                QueryKind::kPoint)],
+            1);
+  EXPECT_EQ(stats.cells_scanned, topk_cells + 1);
+}
+
+TEST(PartialServingTest, FrequencyCountersTrackTheStream) {
+  const auto input = make_input({6, 5, 4});
+  const auto cube = std::make_shared<const PartialCube>(
+      PartialCube::build(input, {DimSet::of({0, 1})}));
+  ThreadPool pool(1);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  QueryEngine engine(cube, options);
+  for (int i = 0; i < 5; ++i) engine.execute(Query::top_k(DimSet::of({0}), 2));
+  for (int i = 0; i < 3; ++i) {
+    engine.execute(Query::top_k(DimSet::of({1, 2}), 2));
+  }
+  const std::vector<std::int64_t> freq = engine.view_frequencies();
+  EXPECT_EQ(freq[DimSet::of({0}).mask()], 5);
+  EXPECT_EQ(freq[DimSet::of({1, 2}).mask()], 3);
+  EXPECT_EQ(freq[DimSet::of({0, 1}).mask()], 0);
+}
+
+TEST(PartialServingTest, ReplanMaterializesTheObservedHotViews) {
+  const auto input = make_input({8, 6, 5});
+  const CubeLattice lattice(input->shape().extents());
+  const auto cube =
+      std::make_shared<const PartialCube>(PartialCube::build(input, {}));
+  ThreadPool pool(2);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  options.max_workers = 2;
+  QueryEngine engine(cube, options);
+
+  // Hammer {1,2}; sprinkle {0}.
+  for (int i = 0; i < 50; ++i) engine.execute(Query::top_k(DimSet::of({1, 2}), 3));
+  for (int i = 0; i < 2; ++i) engine.execute(Query::top_k(DimSet::of({0}), 3));
+
+  const std::int64_t budget =
+      lattice.view_cells(DimSet::of({1, 2})) * 8 + 8;
+  const QueryEngine::ReplanReport report = engine.replan(budget);
+  EXPECT_LE(report.certified_bytes, budget);
+  EXPECT_LE(report.materialized_bytes, budget);
+  EXPECT_EQ(report.materialized_bytes, report.certified_bytes);
+  ASSERT_FALSE(report.views.empty());
+  EXPECT_EQ(report.views.front(), DimSet::of({1, 2}));
+  EXPECT_TRUE(engine.partial_snapshot()->is_materialized(DimSet::of({1, 2})));
+  // The hot view now serves directly.
+  const ServingStats before = engine.stats();
+  engine.execute(Query::top_k(DimSet::of({1, 2}), 3));
+  const ServingStats after = engine.stats();
+  EXPECT_EQ(after.routed_direct - before.routed_direct, 1);
+}
+
+TEST(PartialServingTest, ReplanSwapsSnapshotsUnderConcurrentQueries) {
+  // Readers pin a generation; replan() swaps underneath. Results must
+  // stay bit-identical to the full-cube oracle throughout — no torn
+  // reads, no stale-but-wrong answers. TSan verifies the memory orders.
+  const auto input = make_input({8, 6, 5});
+  const CubeLattice lattice(input->shape().extents());
+
+  WorkloadSpec spec;
+  spec.skew = WorkloadSpec::Skew::kZipfian;
+  spec.zipf_exponent = 1.2;
+  spec.seed = 11;
+  WorkloadGenerator workload(input->shape().extents(), spec);
+  const std::vector<Query> batch = workload.batch(300);
+
+  // Oracle answers, computed once outside the engine.
+  std::vector<QueryResult> expected;
+  {
+    ThreadPool pool(1);
+    QueryEngineOptions options;
+    options.pool = &pool;
+    options.cache_budget_bytes = 0;
+    QueryEngine oracle(
+        std::make_shared<const CubeResult>(build_cube_sequential(*input)),
+        options);
+    for (const Query& query : batch) expected.push_back(*oracle.execute(query));
+  }
+
+  const auto cube = std::make_shared<const PartialCube>(
+      PartialCube::build(input, select_views_greedy(lattice, 2).views));
+  ThreadPool pool(4);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  options.max_workers = 4;
+  options.cache_budget_bytes = std::int64_t{4} << 20;
+  QueryEngine engine(cube, options);
+
+  std::thread replanner([&] {
+    const std::int64_t full_bytes = selection_storage_cells(
+        lattice, [&] {
+          std::vector<DimSet> proper;
+          for (DimSet view : lattice.all_views()) {
+            if (view != DimSet::full(lattice.ndims())) {
+              proper.push_back(view);
+            }
+          }
+          return proper;
+        }()) * 8;
+    for (int round = 0; round < 4; ++round) {
+      const QueryEngine::ReplanReport report =
+          engine.replan(full_bytes / (round + 2));
+      EXPECT_LE(report.certified_bytes, full_bytes / (round + 2));
+    }
+  });
+  for (int round = 0; round < 6; ++round) {
+    const auto results = engine.execute_batch(batch);
+    ASSERT_EQ(results.size(), batch.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(*results[i], expected[i]) << "round=" << round << " i=" << i;
+    }
+  }
+  replanner.join();
+}
+
+TEST(PartialServingTest, ReplanWithZeroBudgetServesEverythingFromInput) {
+  const auto input = make_input({6, 5, 4});
+  const auto cube = std::make_shared<const PartialCube>(
+      PartialCube::build(input, {DimSet::of({0, 1})}));
+  ThreadPool pool(1);
+  QueryEngineOptions options;
+  options.pool = &pool;
+  options.cache_budget_bytes = 0;
+  QueryEngine engine(cube, options);
+  engine.execute(Query::top_k(DimSet::of({0}), 2));
+  const QueryEngine::ReplanReport report = engine.replan(0);
+  EXPECT_TRUE(report.views.empty());
+  EXPECT_EQ(report.materialized_bytes, 0);
+  const CubeResult full = build_cube_sequential(*input);
+  const auto result = engine.execute(Query::top_k(DimSet::of({0}), 2));
+  EXPECT_EQ(result->topk, top_k(full.view(DimSet::of({0})), 2));
+  EXPECT_EQ(engine.stats().routed_input, 1);
+}
+
+TEST(PartialServingTest, FullCubeEngineRejectsPartialAccessors) {
+  const auto input = make_input({6, 5, 4});
+  auto full = std::make_shared<const CubeResult>(build_cube_sequential(*input));
+  QueryEngine engine(full);
+  EXPECT_FALSE(engine.serves_partial());
+  EXPECT_THROW(engine.view_frequencies(), InvalidArgument);
+  EXPECT_THROW(engine.replan(1 << 20), InvalidArgument);
+  EXPECT_THROW(engine.partial_snapshot(), InvalidArgument);
+  const auto partial = std::make_shared<const PartialCube>(
+      PartialCube::build(input, {DimSet::of({0})}));
+  QueryEngine partial_engine(partial);
+  EXPECT_TRUE(partial_engine.serves_partial());
+  EXPECT_THROW(partial_engine.snapshot(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cubist::serving

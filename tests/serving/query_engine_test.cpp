@@ -109,7 +109,10 @@ TEST(QueryEngineTest, RejectsInvalidQueries) {
                InvalidArgument);
   EXPECT_THROW(engine.execute(Query::point(ab, {1})), InvalidArgument);
   EXPECT_THROW(engine.execute(Query::top_k(ab, -2)), InvalidArgument);
-  EXPECT_THROW(QueryEngine(nullptr), InvalidArgument);
+  EXPECT_THROW(QueryEngine(std::shared_ptr<const CubeResult>()),
+               InvalidArgument);
+  EXPECT_THROW(QueryEngine(std::shared_ptr<const PartialCube>()),
+               InvalidArgument);
 }
 
 TEST(QueryEngineTest, LatencyTelemetryCountsPerClassAndStaysBounded) {

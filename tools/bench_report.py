@@ -36,11 +36,12 @@ sweep point, so the CI smoke run enforces the tuner's "never worse than
 the paper's schedule" contract on every push.
 
 With --serving, instead runs the query-serving load generator
-(bench/bench_serving: BM_Serving across clients x batch x skew x cache)
-and writes BENCH_serving.json:
+(bench/bench_serving: BM_Serving across clients x batch x skew x cache,
+plus the BM_PartialServing budget x skew sweep) and writes
+BENCH_serving.json:
 
   {
-    "schema": "cubist-bench-serving/1",
+    "schema": "cubist-bench-serving/2",
     "shape": "fig",           # 32x32x16x16; --smoke switches to 8^3
     "rows": [
       {"name": "BM_Serving/fig/c8/b256/zipf/cache", "clients": 8,
@@ -51,8 +52,31 @@ and writes BENCH_serving.json:
     "summary": {              # cache-on vs cache-off, per (clients, skew)
       "zipf/c8": {"hit_pct": ..., "p99_off_us": ..., "p99_on_us": ...,
                   "p99_speedup": ..., "qps_speedup": ...}, ...
+    },
+    "partial_sweep": [        # one row per (budget pct x Zipf s) point
+      {"name": "BM_PartialServing/part/b15/z25/...", "point": "b15/z25",
+       "budget_pct": 15, "zipf_s": 2.5, "budget_bytes": ...,
+       "full_cube_bytes": ..., "queries": ...,
+       "static": {"views": ..., "materialized_bytes": ...,
+                  "certified_bytes": ..., "mean_cells": ...,
+                  "p99_cells": ..., "p99_us": ..., "direct_pct": ...,
+                  "qps": ...},
+       "adaptive": { same fields }}, ...
+    ],
+    "adaptive_vs_static": {   # per sweep point: the feedback loop's win
+      "part/b15/z25": {"budget_pct": 15, "zipf_s": 2.5,
+                       "mean_cells_ratio": ..., "p99_cells_ratio": ...,
+                       "certified_le_budget": true}, ...
     }
   }
+
+The partial sweep is checked, not just recorded: both policies' certified
+bytes must sit within the byte budget, and the script exits non-zero if
+the workload-adaptive selection scans more cells than the static
+size-based one — on the mean or at the 99th percentile — at any sweep
+point. Per-query cells_scanned is deterministic (fixed streams, cache
+off), so the CI smoke run enforces the feedback loop's advantage exactly,
+with no latency noise in the gate.
 
 In the default (kernel) mode it wraps bench/bench_kernels with
 --benchmark_format=json, sweeps CUBIST_THREADS over a thread list, and
@@ -95,7 +119,7 @@ DEFAULT_SERVING_OUT = "BENCH_serving.json"
 DEFAULT_BINARY_DIRS = ("build-release", "build")
 SCHEMA = "cubist-bench-kernels/1"
 COMM_SCHEMA = "cubist-bench-comm/2"
-SERVING_SCHEMA = "cubist-bench-serving/1"
+SERVING_SCHEMA = "cubist-bench-serving/2"
 QUERY_CLASSES = ("point", "slice", "dice", "rollup", "topk")
 
 # The parameters the comm benches run under, recorded in BENCH_comm.json so
@@ -418,6 +442,12 @@ def serving_report(args):
             entry["qps_speedup"] = round(on_row["qps"] / off_row["qps"], 3)
         summary[key] = entry
 
+    partial_rows, adaptive_vs_static = ([], {})
+    if not args.filter:
+        partial_rows, adaptive_vs_static = serving_partial_sweep(
+            binary, args.smoke
+        )
+
     report = {
         "schema": SERVING_SCHEMA,
         "generated_by": "tools/bench_report.py --serving",
@@ -425,14 +455,117 @@ def serving_report(args):
         "shape": shape,
         "rows": rows,
         "summary": summary,
+        "partial_sweep": partial_rows,
+        "adaptive_vs_static": adaptive_vs_static,
     }
     out = args.out if args.out != DEFAULT_OUT else DEFAULT_SERVING_OUT
     with open(out, "w", encoding="utf-8") as f:
         json.dump(report, f, indent=2, sort_keys=False)
         f.write("\n")
     print(f"wrote {out} ({len(rows)} rows, "
-          f"{len(summary)} cache-on/off pairs)")
+          f"{len(summary)} cache-on/off pairs, "
+          f"{len(partial_rows)} partial sweep points)")
     return 0
+
+
+def serving_partial_sweep(binary, smoke):
+    """Runs BM_PartialServing and pairs adaptive against static selection.
+
+    Returns (partial_rows, adaptive_vs_static). Exits non-zero if the
+    workload-adaptive selection scans more cells than the static
+    size-based one (mean or p99) at any equal-budget sweep point, or if
+    either policy's certified bytes exceed the budget. Cells counts are
+    stream-deterministic (cache off, fixed seeds), so the comparison is
+    exact — no tolerance needed.
+    """
+    pshape = "psmoke" if smoke else "part"
+    sweep_filter = f"BM_PartialServing/{pshape}/"
+    print(f"running {os.path.basename(binary)} "
+          f"(partial-materialization sweep, filter {sweep_filter}) ...")
+    raw = run_once(binary, os.cpu_count() or 1, sweep_filter, 0.01)
+
+    policy_fields = (
+        ("views", "views", int),
+        ("materialized_bytes", "mat_bytes", int),
+        ("certified_bytes", "certified_bytes", int),
+        ("mean_cells", "mean_cells", lambda v: round(v, 3)),
+        ("p99_cells", "p99_cells", int),
+        ("p99_us", "p99_us", lambda v: round(v, 3)),
+        ("direct_pct", "direct_pct", lambda v: round(v, 2)),
+        ("qps", "qps", lambda v: round(v, 1)),
+    )
+    partial_rows = []
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        # BM_PartialServing/<shape>/b<pct>/z<10*s>[/...suffixes]
+        parts = bench["name"].split("/")
+        if len(parts) < 4:
+            continue
+        row = {
+            "name": bench["name"],
+            "point": f"{parts[2]}/{parts[3]}",
+            "budget_pct": int(bench.get("budget_pct", 0)),
+            "zipf_s": round(bench.get("zipf_s", 0.0), 2),
+            "budget_bytes": int(bench.get("budget_bytes", 0)),
+            "full_cube_bytes": int(bench.get("full_bytes", 0)),
+            "queries": int(bench.get("queries", 0)),
+        }
+        for policy in ("static", "adaptive"):
+            row[policy] = {
+                out_key: conv(bench.get(f"{policy}_{counter}", 0))
+                for out_key, counter, conv in policy_fields
+            }
+        partial_rows.append(row)
+    if not partial_rows:
+        sys.exit("no BM_PartialServing rows produced; wrong binary?")
+
+    adaptive_vs_static = {}
+    violations = []
+    for row in sorted(partial_rows, key=lambda r: r["point"]):
+        static, adaptive = row["static"], row["adaptive"]
+        key = f"{pshape}/{row['point']}"
+        certified_ok = (
+            static["certified_bytes"] <= row["budget_bytes"]
+            and adaptive["certified_bytes"] <= row["budget_bytes"]
+        )
+        entry = {
+            "budget_pct": row["budget_pct"],
+            "zipf_s": row["zipf_s"],
+            "certified_le_budget": certified_ok,
+        }
+        if static["mean_cells"] > 0:
+            entry["mean_cells_ratio"] = round(
+                adaptive["mean_cells"] / static["mean_cells"], 4
+            )
+        if static["p99_cells"] > 0:
+            entry["p99_cells_ratio"] = round(
+                adaptive["p99_cells"] / static["p99_cells"], 4
+            )
+        adaptive_vs_static[key] = entry
+        if not certified_ok:
+            violations.append(
+                f"{key}: certified bytes exceed the "
+                f"{row['budget_bytes']}-byte budget"
+            )
+        if adaptive["mean_cells"] > static["mean_cells"]:
+            violations.append(
+                f"{key}: adaptive mean {adaptive['mean_cells']} cells > "
+                f"static {static['mean_cells']}"
+            )
+        if adaptive["p99_cells"] > static["p99_cells"]:
+            violations.append(
+                f"{key}: adaptive p99 {adaptive['p99_cells']} cells > "
+                f"static {static['p99_cells']}"
+            )
+    for violation in violations:
+        sys.stderr.write(f"partial-serving contract violated: {violation}\n")
+    if violations:
+        sys.exit(
+            "workload-adaptive selection lost to static size-based "
+            "selection at equal budget"
+        )
+    return partial_rows, adaptive_vs_static
 
 
 def parse_threads(text):
