@@ -1,0 +1,85 @@
+#include "analysis/trace_bridge.h"
+
+#include <cstring>
+#include <optional>
+
+#include "common/error.h"
+
+namespace cubist {
+namespace {
+
+std::optional<TraceEventKind> kind_from_name(const char* name) {
+  if (std::strcmp(name, "send") == 0) return TraceEventKind::kSend;
+  if (std::strcmp(name, "recv") == 0) return TraceEventKind::kRecv;
+  if (std::strcmp(name, "recv_any") == 0) return TraceEventKind::kRecvAny;
+  if (std::strcmp(name, "combine") == 0) return TraceEventKind::kCombine;
+  if (std::strcmp(name, "barrier") == 0) return TraceEventKind::kBarrier;
+  return std::nullopt;
+}
+
+std::int64_t int_tag(const obs::TraceRecord& record, const char* key) {
+  for (int i = 0; i < record.num_tags; ++i) {
+    const obs::TraceTag& tag = record.tags[i];
+    if (tag.kind == obs::TraceTag::Kind::kInt &&
+        std::strcmp(tag.key, key) == 0) {
+      return tag.int_value;
+    }
+  }
+  CUBIST_CHECK(false, "comm instant is missing integer tag '" << key << "'");
+  return 0;
+}
+
+/// -1 rides the wire for kNoTraceSeq (tags are signed); everything else
+/// is a genuine event index.
+std::uint64_t seq_tag(const obs::TraceRecord& record, const char* key) {
+  const std::int64_t value = int_tag(record, key);
+  return value < 0 ? kNoTraceSeq : static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+EventTrace event_trace_from_capture(const obs::TraceCapture& capture,
+                                    int num_ranks) {
+  CUBIST_CHECK(num_ranks >= 0, "negative rank count");
+  EventTrace trace;
+  trace.ranks.resize(static_cast<std::size_t>(num_ranks));
+  for (const obs::ThreadCapture& thread : capture.threads) {
+    if (thread.tid < obs::kTidRankBase || thread.tid >= obs::kTidWorkerBase) {
+      continue;
+    }
+    CUBIST_CHECK(thread.dropped == 0,
+                 "rank track '" << thread.track_name << "' dropped "
+                                << thread.dropped
+                                << " records; the reconstructed event "
+                                   "sequence would be wrong — raise "
+                                   "CUBIST_TRACE_BUFFER");
+    const int rank = thread.tid - obs::kTidRankBase;
+    if (rank >= static_cast<int>(trace.ranks.size())) {
+      trace.ranks.resize(static_cast<std::size_t>(rank) + 1);
+    }
+    // Threads are ordered by (tid, registration order), so if several
+    // runs re-registered this rank id their events concatenate in run
+    // order — harmless when earlier buffers were reset to empty.
+    std::vector<TraceEvent>& events =
+        trace.ranks[static_cast<std::size_t>(rank)];
+    for (const obs::TraceRecord& record : thread.records) {
+      if (!record.instant || std::strcmp(record.category, "comm") != 0) {
+        continue;
+      }
+      const std::optional<TraceEventKind> kind = kind_from_name(record.name);
+      CUBIST_CHECK(kind.has_value(),
+                   "unknown comm instant '" << record.name << "'");
+      TraceEvent event;
+      event.kind = *kind;
+      event.peer = static_cast<int>(int_tag(record, "peer"));
+      event.tag = static_cast<std::uint64_t>(int_tag(record, "tag"));
+      event.units = int_tag(record, "units");
+      event.match_seq = seq_tag(record, "match");
+      event.operand_seq = seq_tag(record, "operand");
+      events.push_back(event);
+    }
+  }
+  return trace;
+}
+
+}  // namespace cubist

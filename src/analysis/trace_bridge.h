@@ -1,0 +1,36 @@
+// Bridge from the obs timeline capture back to a minimpi EventTrace.
+//
+// Comm::trace() is the single instrumentation choke point: every
+// transport event is appended to the runtime's EventTrace (when HB
+// tracing is on) AND mirrored as a category-"comm" instant on the
+// emitting rank's obs track (when the timeline tracer is on), with the
+// event's peer/tag/units/match/operand riding along as integer tags.
+// This bridge inverts the mirror: given a TraceCapture spanning exactly
+// one Runtime::run, it reconstructs the per-rank event vectors so the
+// happens-before auditor (hb_auditor.h) can run off the SAME capture
+// that renders the Perfetto timeline — one instrumentation pass feeds
+// both consumers (tests/obs/trace_bridge_test.cpp proves the
+// reconstruction is bit-identical to the runtime's own trace).
+//
+// Contract: rank threads are the tracks with tid in [kTidRankBase,
+// kTidWorkerBase); comm instants appear on them in event-sequence order
+// (single emitter, single counter). The capture must be lossless on
+// those tracks — any dropped record invalidates the sequence numbering,
+// so the bridge refuses (raise CUBIST_TRACE_BUFFER instead). Captures
+// spanning several runs concatenate and will fail the auditor; capture
+// between runs.
+#pragma once
+
+#include "minimpi/event_trace.h"
+#include "obs/trace.h"
+
+namespace cubist {
+
+/// Rebuilds the per-rank EventTrace from `capture`'s comm instants.
+/// `num_ranks` sizes the result (0 = infer from the largest rank track
+/// present). Throws via CUBIST_CHECK on dropped rank-track records or an
+/// unknown comm event name.
+EventTrace event_trace_from_capture(const obs::TraceCapture& capture,
+                                    int num_ranks = 0);
+
+}  // namespace cubist

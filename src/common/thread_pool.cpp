@@ -13,7 +13,14 @@ namespace {
 /// Simulated ranks currently sharing the global pool (minimpi Runtime).
 std::atomic<int> g_active_ranks{1};
 
+/// Identity hook run at the top of each worker thread (obs tracer).
+std::atomic<ThreadPool::WorkerThreadHook> g_worker_hook{nullptr};
+
 }  // namespace
+
+void ThreadPool::set_worker_thread_hook(WorkerThreadHook hook) {
+  g_worker_hook.store(hook, std::memory_order_release);
+}
 
 /// One parallel_for invocation: a range claimed in grain-sized chunks via
 /// an atomic cursor, a completion count, and the first captured error.
@@ -45,7 +52,13 @@ ThreadPool::ThreadPool(int num_threads) {
                                      << num_threads);
   workers_.reserve(static_cast<std::size_t>(num_threads - 1));
   for (int i = 0; i < num_threads - 1; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      if (const WorkerThreadHook hook =
+              g_worker_hook.load(std::memory_order_acquire)) {
+        hook(i);
+      }
+      worker_loop();
+    });
   }
 }
 

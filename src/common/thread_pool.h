@@ -72,6 +72,13 @@ class ThreadPool {
   /// Number of simulated ranks currently sharing the pool (>= 1).
   static int active_ranks();
 
+  /// Called once on each worker thread spawned AFTER installation, with
+  /// the worker's index within its pool. Lets higher layers assign the
+  /// worker a stable identity (the obs tracer names its timeline track)
+  /// without this header depending on them. Pass nullptr to uninstall.
+  using WorkerThreadHook = void (*)(int worker_index);
+  static void set_worker_thread_hook(WorkerThreadHook hook);
+
   /// RAII registration of `ranks` concurrent pool clients, so per-rank
   /// parallel_for budgets become size() / ranks. Used by the minimpi
   /// Runtime around its SPMD thread group; nests by summing.

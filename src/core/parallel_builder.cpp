@@ -8,6 +8,7 @@
 #include "common/thread_pool.h"
 #include "lattice/aggregation_tree.h"
 #include "lattice/memory_sim.h"
+#include "obs/trace.h"
 
 namespace cubist {
 namespace {
@@ -85,8 +86,12 @@ class RankBuilder {
       ledger_.alloc(it->second.bytes());
       targets.push_back(AggregationTarget{pos, &it->second});
     }
+    obs::Span span("build", input_level ? "scan_input" : "scan_view");
+    span.tag("view", static_cast<std::int64_t>(view.mask()))
+        .tag("children", static_cast<std::int64_t>(targets.size()));
     const AggregationStats scan =
         scan_parent(parent_array, targets, input_level);
+    span.tag("cells", scan.cells_scanned).tag("updates", scan.updates);
     stats_.cells_scanned += scan.cells_scanned;
     stats_.updates += scan.updates;
     stats_.peak_scratch_bytes =
@@ -124,6 +129,11 @@ class RankBuilder {
       // dimension; the lead (coordinate 0) ends up with the final values.
       const std::vector<int> group = grid_.axis_group(comm_.rank(), aggregated);
       if (group.size() > 1) {
+        // The per-collective timing lives in Comm::reduce's own "comm"
+        // span; this one names WHICH view edge the collective finalizes.
+        obs::Span span("build", "reduce_view");
+        span.tag("view", static_cast<std::int64_t>(child.mask()))
+            .tag("axis", static_cast<std::int64_t>(aggregated));
         comm_.reduce(group, block, child.mask(), options_.op,
                      reduce_options_);
       }
@@ -148,6 +158,9 @@ class RankBuilder {
   void write_back(DimSet view) {
     auto it = live_.find(view.mask());
     CUBIST_ASSERT(it != live_.end(), "write-back of non-live view block");
+    obs::Instant("build", "write_back")
+        .tag("view", static_cast<std::int64_t>(view.mask()))
+        .tag("bytes", it->second.bytes());
     ledger_.release(it->second.bytes());
     stats_.written_bytes += it->second.bytes();
     finalize_view(options_.op, it->second);

@@ -10,7 +10,10 @@
 #include "analysis/interleaving_checker.h"
 #include "analysis/schedule_verifier.h"
 #include "common/error.h"
+#include "lattice/volume_model.h"
 #include "minimpi/proc_grid.h"
+#include "obs/drift.h"
+#include "obs/trace.h"
 
 namespace cubist {
 namespace {
@@ -78,21 +81,28 @@ ParallelCubeReport run_parallel_cube(const std::vector<std::int64_t>& sizes,
   schedule_spec.model = model;
   const bool model_check = options.model_check && p <= kModelCheckMaxRanks;
   std::optional<CommPlan> plan;
-  if (options.verify_schedule || model_check) {
-    plan.emplace(build_comm_plan(schedule_spec));
-  }
-  if (options.verify_schedule) {
-    const AnalysisReport preflight = verify_schedule(schedule_spec, *plan);
-    CUBIST_ASSERT(preflight.ok(), "pre-flight schedule verification failed:\n"
-                                      << preflight.to_string());
-  }
-  if (model_check) {
-    const ScheduleIR ir = plan->ir();
-    if (ir.total_events() <= kModelCheckMaxEvents) {
-      const InterleavingReport interleavings = check_interleavings(ir);
-      CUBIST_ASSERT(interleavings.ok(),
-                    "pre-flight interleaving model check failed:\n"
-                        << interleavings.to_string());
+  {
+    obs::Span span("build", "plan_and_verify");
+    span.tag("ranks", static_cast<std::int64_t>(p));
+    if (options.verify_schedule || model_check) {
+      plan.emplace(build_comm_plan(schedule_spec));
+    }
+    if (options.verify_schedule) {
+      const AnalysisReport preflight = verify_schedule(schedule_spec, *plan);
+      CUBIST_ASSERT(preflight.ok(),
+                    "pre-flight schedule verification failed:\n"
+                        << preflight.to_string());
+    }
+    if (model_check) {
+      const ScheduleIR ir = plan->ir();
+      if (ir.total_events() <= kModelCheckMaxEvents) {
+        obs::Span check_span("build", "model_check");
+        check_span.tag("events", ir.total_events());
+        const InterleavingReport interleavings = check_interleavings(ir);
+        CUBIST_ASSERT(interleavings.ok(),
+                      "pre-flight interleaving model check failed:\n"
+                          << interleavings.to_string());
+      }
     }
   }
 
@@ -108,6 +118,9 @@ ParallelCubeReport run_parallel_cube(const std::vector<std::int64_t>& sizes,
   }
   std::mutex assemble_mutex;  // only rank 0 writes, but keep it simple
 
+  obs::Span run_span("build", "parallel_run");
+  run_span.tag("ranks", static_cast<std::int64_t>(p))
+      .tag("dims", static_cast<std::int64_t>(n));
   report.run = Runtime::run(p, model, [&](Comm& comm) {
     const int rank = comm.rank();
     const SparseArray local_root = provider(rank, grid.block(rank, sizes));
@@ -119,6 +132,7 @@ ParallelCubeReport run_parallel_cube(const std::vector<std::int64_t>& sizes,
     report.rank_stats[static_cast<std::size_t>(rank)] = stats;
 
     if (!collect_result) return;
+    obs::Span gather_span("build", "gather");
     comm.barrier();
     // Gather: for every proper view (ascending mask), each lead ships its
     // block to rank 0, which assembles the global array. Lead sets and
@@ -156,7 +170,9 @@ ParallelCubeReport run_parallel_cube(const std::vector<std::int64_t>& sizes,
       }
     }
   }, /*record_trace=*/options.audit_hb);
+  run_span.end();
   if (options.audit_hb) {
+    obs::Span span("build", "hb_audit");
     const HbAuditReport hb = audit_event_trace(report.run.trace);
     CUBIST_ASSERT(hb.ok(),
                   "post-run happens-before audit failed:\n" << hb.to_string());
@@ -183,6 +199,7 @@ ParallelCubeReport run_parallel_cube(const std::vector<std::int64_t>& sizes,
     }
   }
   if (options.audit_volume) {
+    obs::Span span("build", "volume_audit");
     const AnalysisReport audit =
         audit_measured_volume(schedule_spec, report.bytes_by_view);
     CUBIST_ASSERT(audit.ok(),
@@ -196,6 +213,42 @@ ParallelCubeReport run_parallel_cube(const std::vector<std::int64_t>& sizes,
                   "post-run wire-volume audit failed:\n"
                       << wire_audit.to_string());
   }
+
+  // Live telemetry of the static certificates: per-view wire bytes over
+  // the dense Lemma-1 bound (obs/drift.h), plus build high-water gauges.
+  if (obs::drift_enabled()) {
+    obs::DriftGauge& gauge = obs::wire_vs_lemma1_gauge();
+    const std::map<std::uint32_t, std::int64_t> bound_elements =
+        volume_by_view_elements(sizes, log_splits);
+    for (const auto& [mask, elements] : bound_elements) {
+      if (elements == 0) continue;
+      const auto it = report.wire_bytes_by_view.find(mask);
+      const double observed =
+          it == report.wire_bytes_by_view.end()
+              ? 0.0
+              : static_cast<double>(it->second);
+      gauge.record(observed, static_cast<double>(elements) *
+                                 static_cast<double>(sizeof(Value)));
+    }
+  }
+  obs::Registry& registry = obs::Registry::global();
+  registry
+      .gauge("cubist_build_makespan_seconds",
+             "virtual-clock makespan of the last parallel cube build")
+      .set(report.construction_seconds);
+  registry
+      .gauge("cubist_build_peak_live_bytes",
+             "high-water live bytes across ranks (Theorem-1/4 subject)")
+      .set_max(static_cast<double>(report.max_peak_live_bytes));
+  std::int64_t peak_scratch = 0;
+  for (const ParallelBuildStats& stats : report.rank_stats) {
+    peak_scratch = std::max(peak_scratch, stats.peak_scratch_bytes);
+  }
+  registry
+      .gauge("cubist_build_peak_scratch_bytes",
+             "high-water aggregation scratch bytes across ranks")
+      .set_max(static_cast<double>(peak_scratch));
+
   report.cube = std::move(assembled);
   return report;
 }

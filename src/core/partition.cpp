@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "lattice/volume_model.h"
+#include "obs/trace.h"
 
 namespace cubist {
 
@@ -11,6 +12,9 @@ std::vector<int> greedy_partition(const std::vector<std::int64_t>& sizes,
                                   int log_p) {
   CUBIST_CHECK(!sizes.empty(), "no dimensions");
   CUBIST_CHECK(log_p >= 0, "negative processor exponent");
+  obs::Span span("build", "partition");
+  span.tag("dims", static_cast<std::int64_t>(sizes.size()))
+      .tag("log_p", static_cast<std::int64_t>(log_p));
   const int n = static_cast<int>(sizes.size());
   // X_m is the cost of the *next* split along m: w_m * 2^{k_m}.
   std::vector<std::int64_t> next_cost(static_cast<std::size_t>(n));

@@ -38,6 +38,7 @@
 #include "analysis/interleaving_checker.h"  // DPOR interleaving model checker
 #include "analysis/schedule_ir.h"        // typed schedule event IR
 #include "analysis/schedule_verifier.h"  // schedule verifier + ledger audit
+#include "analysis/trace_bridge.h"       // obs capture -> EventTrace
 #include "baselines/tree_builder.h"  // prior-work spanning-tree baselines
 #include "common/dimset.h"         // lattice node = set of dimensions
 #include "common/mathutil.h"
@@ -68,8 +69,12 @@
 #include "lattice/volume_model.h"      // Lemma 1 / Theorem 3
 #include "minimpi/comm.h"              // message passing endpoint
 #include "minimpi/cost_model.h"        // virtual-time constants
+#include "minimpi/drift_calibration.h" // reduce clock-vs-sim calibration
 #include "minimpi/proc_grid.h"         // processor grid + lead processors
 #include "minimpi/runtime.h"           // SPMD runtime
+#include "obs/drift.h"                 // model-vs-measured drift gauges
+#include "obs/metrics.h"               // metrics registry + exports
+#include "obs/trace.h"                 // span tracer + Chrome JSON export
 #include "serving/query.h"             // canonical query descriptors
 #include "serving/query_engine.h"      // concurrent OLAP serving engine
 #include "serving/slice_cache.h"       // cost-weighted hot-slice cache

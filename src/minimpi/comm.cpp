@@ -6,6 +6,8 @@
 #include "array/wire_codec.h"
 #include "common/error.h"
 #include "minimpi/runtime_state.h"
+#include "obs/drift.h"
+#include "obs/trace.h"
 
 namespace cubist {
 namespace {
@@ -33,8 +35,28 @@ void Comm::charge_compute(std::int64_t cells_scanned, std::int64_t updates) {
 }
 
 std::uint64_t Comm::trace(const TraceEvent& event) {
-  if (!state_.tracing()) return kNoTraceSeq;
-  return state_.record_event(rank_, event);
+  const bool hb = state_.tracing();
+  const bool timeline = obs::Tracer::enabled();
+  if (!hb && !timeline) return kNoTraceSeq;
+  const std::uint64_t seq = trace_seq_++;
+  if (hb) {
+    [[maybe_unused]] const std::uint64_t index =
+        state_.record_event(rank_, event);
+    CUBIST_DCHECK(index == seq, "event trace index diverged from trace_seq_");
+  }
+  if (timeline) {
+    // Mirror onto this rank's obs track. The bridge relies on comm
+    // instants appearing in seq order per thread (they do: one emitter,
+    // one counter) and on match/operand seqs riding along as tags;
+    // kNoTraceSeq is representable as -1.
+    obs::Instant("comm", to_string(event.kind))
+        .tag("peer", static_cast<std::int64_t>(event.peer))
+        .tag("tag", static_cast<std::int64_t>(event.tag))
+        .tag("units", event.units)
+        .tag("match", static_cast<std::int64_t>(event.match_seq))
+        .tag("operand", static_cast<std::int64_t>(event.operand_seq));
+  }
+  return seq;
 }
 
 void Comm::send_wire(int dst, std::uint64_t tag, std::int64_t logical_bytes,
@@ -129,6 +151,26 @@ void Comm::reduce(std::span<const int> group, DenseArray& data,
   const std::vector<ReduceStep> steps =
       reduce_chunk_steps(algorithm, group, me, state_.model().topology);
 
+  // Timeline span for the whole collective; the certified drift ratio is
+  // produced by the barrier-aligned calibration replay
+  // (minimpi/drift_calibration.h), but the per-call tuner prediction
+  // rides along here as a tag so skew is visible in the trace.
+  obs::Span span("comm", "reduce");
+  const double clock_at_entry = clock_;
+  if (span.active()) {
+    span.tag("algorithm", to_string(algorithm))
+        .tag("elements", total)
+        .tag("group", static_cast<std::int64_t>(g))
+        .tag("root", static_cast<std::int64_t>(group[0]));
+    if (obs::drift_enabled()) {
+      span.tag("sim_seconds",
+               simulate_reduce_seconds(algorithm, group, total,
+                                       options.max_message_elements,
+                                       state_.model(), options.density_hint,
+                                       options.wire.enabled));
+    }
+  }
+
   // Chunk-outer pipeline: each chunk runs its full schedule (fold from
   // below, then — for non-root members — ship upward) before the next
   // chunk starts, so a member forwards chunk i while chunk i+1 is still
@@ -164,6 +206,7 @@ void Comm::reduce(std::span<const int> group, DenseArray& data,
       }
     }
   }
+  if (span.active()) span.tag("clock_delta_seconds", clock_ - clock_at_entry);
 }
 
 void Comm::reduce_chunk_arrival_order(std::span<const int> group, int me,

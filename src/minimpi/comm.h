@@ -177,8 +177,12 @@ class Comm {
                                   std::span<Value> chunk, std::uint64_t tag,
                                   AggregateOp op,
                                   const ReduceOptions& options);
-  /// Appends to this rank's event trace when tracing is on; returns the
-  /// event index (kNoTraceSeq when tracing is off).
+  /// The single event-record choke point. When HB tracing is on, appends
+  /// to this rank's EventTrace; when the obs tracer is on, mirrors the
+  /// event as a tagged "comm" instant on this rank's timeline — one
+  /// capture feeds both the happens-before auditor (via
+  /// analysis/trace_bridge.h) and the Perfetto view. Returns the event's
+  /// per-rank sequence number (kNoTraceSeq when neither sink is active).
   std::uint64_t trace(const TraceEvent& event);
 
   RuntimeState& state_;
@@ -186,6 +190,9 @@ class Comm {
   double clock_ = 0.0;
   std::int64_t logical_bytes_sent_ = 0;
   std::int64_t wire_bytes_sent_ = 0;
+  /// Per-rank event sequence, advanced by trace() whichever sink is on;
+  /// equals the EventTrace index whenever HB tracing is enabled.
+  std::uint64_t trace_seq_ = 0;
   /// Trace index of this rank's most recent receive — the operand
   /// provenance recorded by reduce()'s combine events.
   std::uint64_t last_recv_seq_ = kNoTraceSeq;

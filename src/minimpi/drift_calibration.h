@@ -1,0 +1,56 @@
+// Barrier-aligned reduce replays feeding the clock-vs-simulation gauge.
+//
+// `simulate_reduce_seconds` predicts the makespan of one collective with
+// every member entering at virtual clock zero. Inside a real build,
+// ranks reach each reduce at skewed clocks (compute runs ahead on some
+// ranks), so a ratio taken in situ would measure the skew, not the
+// model. This calibration measures the model on its own terms: for each
+// requested point it runs a dedicated minimpi program that barriers,
+// then reduces, and compares the root's clock advance — the true
+// makespan under the runtime's LogP charging rules — against the
+// simulation's prediction for the identical (algorithm, group, payload).
+// Both sides replay the same charging rules over the same schedule, so
+// with the wire codec off the ratio is exactly 1; with encoding on it
+// measures how far the static density hint sits from the traffic the
+// codec actually emitted. Results land in the process-wide
+// `cubist_drift_reduce_clock_vs_sim` gauge (obs/drift.h), one sample per
+// point; the in-build `comm.reduce` spans carry the skewed per-call
+// numbers as tags for the timeline instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "minimpi/collectives.h"
+#include "minimpi/cost_model.h"
+#include "obs/metrics.h"
+
+namespace cubist {
+
+/// One calibration point: `num_ranks` members reduce a dense block of
+/// `elements` values under `algorithm` (kAuto resolves through the
+/// tuner, like the builder's reduces do).
+struct ReduceDriftPoint {
+  ReduceAlgorithm algorithm = ReduceAlgorithm::kAuto;
+  int num_ranks = 4;
+  std::int64_t elements = 1 << 12;
+  std::int64_t max_message_elements = 0;
+  /// Fill density of the synthetic block and, equally, the density hint
+  /// handed to both the runtime reduce and the simulation.
+  double density = 1.0;
+  bool encode_wire = false;
+};
+
+/// The default sweep: every forced algorithm plus kAuto, dense and
+/// sparse-encoded points, two group sizes.
+std::vector<ReduceDriftPoint> default_reduce_drift_points();
+
+/// Runs every point and records one (observed, predicted) sample per
+/// point into `cubist_drift_reduce_clock_vs_sim` in `registry`. Returns
+/// the number of samples recorded. Deterministic: both sides run on the
+/// virtual clock.
+int calibrate_reduce_drift(const CostModel& model,
+                           const std::vector<ReduceDriftPoint>& points,
+                           obs::Registry& registry);
+
+}  // namespace cubist

@@ -15,11 +15,20 @@
 // wire <= logical per message, so `total_wire_bytes <= total_bytes` holds
 // unconditionally (with equality when encoding is disabled). The analysis
 // gate certifies both against the Lemma-1 bound (docs/ANALYSIS.md).
+// Since the observability layer landed, the ledger is also the comm
+// subsystem's feed into the metrics registry: every record() mirrors
+// into the process-wide `cubist_comm_*` counters (cumulative across
+// runs, the Prometheus view) while the per-instance tag maps stay the
+// per-run source of truth — snapshot() DERIVES the totals from the maps
+// rather than keeping parallel accumulators, so the two exports can
+// never disagree with the breakdown (docs/OBSERVABILITY.md).
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <mutex>
+
+#include "obs/metrics.h"
 
 namespace cubist {
 
@@ -46,22 +55,59 @@ class VolumeLedger {
     record(tag, bytes, bytes);
   }
   void record(std::uint64_t tag, std::int64_t bytes, std::int64_t wire_bytes) {
-    std::lock_guard lock(mutex_);
-    report_.total_bytes += bytes;
-    report_.total_wire_bytes += wire_bytes;
-    report_.total_messages += 1;
-    report_.bytes_by_tag[tag] += bytes;
-    report_.wire_bytes_by_tag[tag] += wire_bytes;
+    {
+      std::lock_guard lock(mutex_);
+      messages_ += 1;
+      bytes_by_tag_[tag] += bytes;
+      wire_bytes_by_tag_[tag] += wire_bytes;
+    }
+    logical_counter().add(bytes);
+    wire_counter().add(wire_bytes);
+    message_counter().increment();
   }
 
   VolumeReport snapshot() const {
     std::lock_guard lock(mutex_);
-    return report_;
+    VolumeReport report;
+    report.total_messages = messages_;
+    report.bytes_by_tag = bytes_by_tag_;
+    report.wire_bytes_by_tag = wire_bytes_by_tag_;
+    for (const auto& [tag, bytes] : bytes_by_tag_) {
+      (void)tag;
+      report.total_bytes += bytes;
+    }
+    for (const auto& [tag, bytes] : wire_bytes_by_tag_) {
+      (void)tag;
+      report.total_wire_bytes += bytes;
+    }
+    return report;
   }
 
  private:
+  // Process-wide export instruments (cumulative across every runtime in
+  // the process, as Prometheus counters are meant to be). Function-local
+  // statics so the registry lookup happens once, not per message.
+  static obs::Counter& logical_counter() {
+    static obs::Counter& counter = obs::Registry::global().counter(
+        "cubist_comm_logical_bytes",
+        "dense-equivalent bytes sent between ranks");
+    return counter;
+  }
+  static obs::Counter& wire_counter() {
+    static obs::Counter& counter = obs::Registry::global().counter(
+        "cubist_comm_wire_bytes", "encoded bytes actually put on the link");
+    return counter;
+  }
+  static obs::Counter& message_counter() {
+    static obs::Counter& counter = obs::Registry::global().counter(
+        "cubist_comm_messages", "messages sent between ranks");
+    return counter;
+  }
+
   mutable std::mutex mutex_;
-  VolumeReport report_;
+  std::int64_t messages_ = 0;
+  std::map<std::uint64_t, std::int64_t> bytes_by_tag_;
+  std::map<std::uint64_t, std::int64_t> wire_bytes_by_tag_;
 };
 
 }  // namespace cubist

@@ -9,6 +9,7 @@
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "minimpi/runtime_state.h"
+#include "obs/trace.h"
 
 namespace cubist {
 
@@ -42,8 +43,13 @@ RunReport Runtime::run(int num_ranks, const CostModel& model,
   threads.reserve(static_cast<std::size_t>(num_ranks));
   for (int r = 0; r < num_ranks; ++r) {
     threads.emplace_back([&, r] {
+      // Stable obs track per rank regardless of thread creation order.
+      obs::set_thread_identity("rank-" + std::to_string(r),
+                               obs::kTidRankBase + r);
       Comm comm(state, r);
       try {
+        obs::Span span("runtime", "rank");
+        span.tag("rank", static_cast<std::int64_t>(r));
         fn(comm);
         rank_seconds[static_cast<std::size_t>(r)] = comm.clock();
       } catch (const AbortedError&) {

@@ -1,0 +1,59 @@
+// Canonical drift gauges: the paper's static certificates as telemetry.
+//
+// Three observed-vs-model ratios, each pairing a measurement the runtime
+// already produces with a closed form the verifier already certifies:
+//
+//   cubist_drift_wire_vs_lemma1     — wire bytes shipped per view vs the
+//       dense Lemma-1 volume bound (volume_by_view_elements · value
+//       size). The wire codec may only ever undercut the bound, so the
+//       tolerance is (0, 1]: a ratio above 1 means traffic escaped the
+//       certificate, far below the floor means the accounting broke.
+//   cubist_drift_reduce_clock_vs_sim — the root rank's measured virtual
+//       clock advance across one Comm::reduce vs the cost tuner's
+//       simulate_reduce_seconds prediction for the same (algorithm,
+//       group, payload). The simulation replays the same charging rules
+//       the transport applies, so this certifies the tuner still models
+//       the collective it tuned.
+//   cubist_drift_query_cost_vs_cells — measured cells_scanned per routed
+//       query vs the query_cost() planning model. Exact on the
+//       projection path by the materialize_from contract, hence the
+//       tight window.
+//
+// Aggregate ratio = sum(observed)/sum(model); tolerances are gated by
+// tools/bench_report.py --obs in CI (docs/ANALYSIS.md "Drift
+// tolerances"). Recording is guarded by `drift_enabled()` where the
+// model side costs something to evaluate (the reduce gauge re-runs the
+// event simulation); enable via CUBIST_DRIFT=1 or set_drift_enabled().
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace cubist::obs {
+
+inline constexpr const char* kDriftWireVsLemma1 = "cubist_drift_wire_vs_lemma1";
+inline constexpr const char* kDriftReduceClockVsSim =
+    "cubist_drift_reduce_clock_vs_sim";
+inline constexpr const char* kDriftQueryCostVsCells =
+    "cubist_drift_query_cost_vs_cells";
+
+// Tolerance windows on the aggregate observed/model ratio. Rationale per
+// gauge above; numbers recorded in docs/ANALYSIS.md.
+inline constexpr double kWireVsLemma1Min = 0.005;
+inline constexpr double kWireVsLemma1Max = 1.000001;
+inline constexpr double kReduceClockVsSimMin = 0.5;
+inline constexpr double kReduceClockVsSimMax = 1.5;
+inline constexpr double kQueryCostVsCellsMin = 0.99;
+inline constexpr double kQueryCostVsCellsMax = 1.01;
+
+/// True when drift recording is on (CUBIST_DRIFT env or
+/// set_drift_enabled). One relaxed atomic load.
+bool drift_enabled();
+void set_drift_enabled(bool enabled);
+
+/// The canonical gauges, registered in `registry` (global by default)
+/// with their standard tolerances on first use.
+DriftGauge& wire_vs_lemma1_gauge(Registry& registry = Registry::global());
+DriftGauge& reduce_clock_vs_sim_gauge(Registry& registry = Registry::global());
+DriftGauge& query_cost_vs_cells_gauge(Registry& registry = Registry::global());
+
+}  // namespace cubist::obs

@@ -1,0 +1,326 @@
+// Metrics registry implementation and JSON / Prometheus rendering.
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace cubist::obs {
+namespace {
+
+void json_escape_into(std::ostringstream& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c;
+    }
+  }
+}
+
+void json_number(std::ostringstream& out, double value) {
+  if (!std::isfinite(value)) {
+    out << "null";
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(17);
+  tmp << value;
+  out << tmp.str();
+}
+
+const char* kind_name(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::kCounter: return "counter";
+    case MetricSample::Kind::kGauge: return "gauge";
+    case MetricSample::Kind::kHistogram: return "histogram";
+    case MetricSample::Kind::kDrift: return "drift";
+  }
+  return "unknown";
+}
+
+// Prometheus metric line: name{labels} value.
+void prom_line(std::ostringstream& out, const std::string& name,
+               const std::string& labels, const std::string& extra_label,
+               double value) {
+  out << name;
+  if (!labels.empty() || !extra_label.empty()) {
+    out << '{' << labels;
+    if (!labels.empty() && !extra_label.empty()) out << ',';
+    out << extra_label << '}';
+  }
+  out << ' ';
+  if (std::isfinite(value)) {
+    std::ostringstream tmp;
+    tmp.precision(17);
+    tmp << value;
+    out << tmp.str();
+  } else {
+    out << "NaN";
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+HistogramSummary Histogram::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HistogramSummary s;
+  s.count = sketch_.count();
+  s.sum = sum_;
+  if (s.count > 0) {
+    s.p50 = sketch_.quantile(0.50);
+    s.p90 = sketch_.quantile(0.90);
+    s.p99 = sketch_.quantile(0.99);
+    s.p999 = sketch_.quantile(0.999);
+  }
+  s.memory_bytes = sketch_.memory_bytes();
+  s.memory_bound_bytes = sketch_.memory_bound_bytes();
+  return s;
+}
+
+void DriftGauge::record(double observed, double model) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!(model > 0.0)) {
+    ++ignored_;
+    return;
+  }
+  const double ratio = observed / model;
+  if (samples_ == 0) {
+    min_ratio_ = ratio;
+    max_ratio_ = ratio;
+  } else {
+    if (ratio < min_ratio_) min_ratio_ = ratio;
+    if (ratio > max_ratio_) max_ratio_ = ratio;
+  }
+  ++samples_;
+  observed_sum_ += observed;
+  model_sum_ += model;
+}
+
+DriftSummary DriftGauge::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DriftSummary s;
+  s.samples = samples_;
+  s.observed_sum = observed_sum_;
+  s.model_sum = model_sum_;
+  s.min_ratio = min_ratio_;
+  s.max_ratio = max_ratio_;
+  s.tolerance_min = tolerance_min_;
+  s.tolerance_max = tolerance_max_;
+  if (samples_ > 0 && model_sum_ > 0.0) {
+    s.ratio = observed_sum_ / model_sum_;
+    s.within = s.ratio >= tolerance_min_ && s.ratio <= tolerance_max_;
+  } else {
+    s.ratio = 0.0;
+    s.within = true;  // vacuous: nothing measured, nothing drifted
+  }
+  return s;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Entry& Registry::entry(const std::string& name,
+                                 const std::string& labels,
+                                 MetricSample::Kind kind,
+                                 const std::string& help) {
+  // Caller holds mutex_.
+  auto [it, inserted] = entries_.try_emplace({name, labels});
+  Entry& e = it->second;
+  if (inserted) {
+    e.kind = kind;
+    e.help = help;
+  } else {
+    CUBIST_CHECK(e.kind == kind, "metric '" << name << "' re-registered as "
+                                            << kind_name(kind) << ", was "
+                                            << kind_name(e.kind));
+  }
+  return e;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entry(name, labels, MetricSample::Kind::kCounter, help);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entry(name, labels, MetricSample::Kind::kGauge, help);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, double epsilon,
+                               std::int64_t max_count, const std::string& help,
+                               const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entry(name, labels, MetricSample::Kind::kHistogram, help);
+  if (!e.histogram) {
+    e.histogram = std::make_unique<Histogram>(epsilon, max_count);
+  }
+  return *e.histogram;
+}
+
+DriftGauge& Registry::drift(const std::string& name, double tolerance_min,
+                            double tolerance_max, const std::string& help,
+                            const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& e = entry(name, labels, MetricSample::Kind::kDrift, help);
+  if (!e.drift) {
+    e.drift = std::make_unique<DriftGauge>(tolerance_min, tolerance_max);
+  }
+  return *e.drift;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.samples.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    MetricSample sample;
+    sample.kind = e.kind;
+    sample.name = key.first;
+    sample.labels = key.second;
+    sample.help = e.help;
+    switch (e.kind) {
+      case MetricSample::Kind::kCounter:
+        sample.counter_value = e.counter->value();
+        break;
+      case MetricSample::Kind::kGauge:
+        sample.gauge_value = e.gauge->value();
+        break;
+      case MetricSample::Kind::kHistogram:
+        sample.histogram = e.histogram->summary();
+        break;
+      case MetricSample::Kind::kDrift:
+        sample.drift = e.drift->summary();
+        break;
+    }
+    snap.samples.push_back(std::move(sample));
+  }
+  // std::map iteration is already (name, labels)-ordered: deterministic.
+  return snap;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::ostringstream out;
+  out << "{\"schema\":\"cubist-metrics/1\",\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& s : samples) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"name\":\"";
+    json_escape_into(out, s.name);
+    out << "\",\"kind\":\"" << kind_name(s.kind) << '"';
+    if (!s.labels.empty()) {
+      out << ",\"labels\":\"";
+      json_escape_into(out, s.labels);
+      out << '"';
+    }
+    if (!s.help.empty()) {
+      out << ",\"help\":\"";
+      json_escape_into(out, s.help);
+      out << '"';
+    }
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out << ",\"value\":" << s.counter_value;
+        break;
+      case MetricSample::Kind::kGauge:
+        out << ",\"value\":";
+        json_number(out, s.gauge_value);
+        break;
+      case MetricSample::Kind::kHistogram:
+        out << ",\"count\":" << s.histogram.count << ",\"sum\":";
+        json_number(out, s.histogram.sum);
+        out << ",\"p50\":";
+        json_number(out, s.histogram.p50);
+        out << ",\"p90\":";
+        json_number(out, s.histogram.p90);
+        out << ",\"p99\":";
+        json_number(out, s.histogram.p99);
+        out << ",\"p999\":";
+        json_number(out, s.histogram.p999);
+        out << ",\"memory_bytes\":" << s.histogram.memory_bytes
+            << ",\"memory_bound_bytes\":" << s.histogram.memory_bound_bytes;
+        break;
+      case MetricSample::Kind::kDrift:
+        out << ",\"samples\":" << s.drift.samples << ",\"ratio\":";
+        json_number(out, s.drift.ratio);
+        out << ",\"observed_sum\":";
+        json_number(out, s.drift.observed_sum);
+        out << ",\"model_sum\":";
+        json_number(out, s.drift.model_sum);
+        out << ",\"min_ratio\":";
+        json_number(out, s.drift.min_ratio);
+        out << ",\"max_ratio\":";
+        json_number(out, s.drift.max_ratio);
+        out << ",\"tolerance_min\":";
+        json_number(out, s.drift.tolerance_min);
+        out << ",\"tolerance_max\":";
+        json_number(out, s.drift.tolerance_max);
+        out << ",\"within\":" << (s.drift.within ? "true" : "false");
+        break;
+    }
+    out << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::ostringstream out;
+  std::string last_header;
+  for (const MetricSample& s : samples) {
+    if (s.name != last_header) {
+      last_header = s.name;
+      if (!s.help.empty()) {
+        out << "# HELP " << s.name << ' ' << s.help << '\n';
+      }
+      const char* prom_type = "gauge";
+      if (s.kind == MetricSample::Kind::kCounter) prom_type = "counter";
+      if (s.kind == MetricSample::Kind::kHistogram) prom_type = "summary";
+      out << "# TYPE " << s.name << ' ' << prom_type << '\n';
+    }
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        prom_line(out, s.name, s.labels, "",
+                  static_cast<double>(s.counter_value));
+        break;
+      case MetricSample::Kind::kGauge:
+        prom_line(out, s.name, s.labels, "", s.gauge_value);
+        break;
+      case MetricSample::Kind::kHistogram:
+        prom_line(out, s.name, s.labels, "quantile=\"0.5\"", s.histogram.p50);
+        prom_line(out, s.name, s.labels, "quantile=\"0.9\"", s.histogram.p90);
+        prom_line(out, s.name, s.labels, "quantile=\"0.99\"", s.histogram.p99);
+        prom_line(out, s.name, s.labels, "quantile=\"0.999\"",
+                  s.histogram.p999);
+        prom_line(out, s.name + "_sum", s.labels, "", s.histogram.sum);
+        prom_line(out, s.name + "_count", s.labels, "",
+                  static_cast<double>(s.histogram.count));
+        break;
+      case MetricSample::Kind::kDrift:
+        prom_line(out, s.name, s.labels, "", s.drift.ratio);
+        prom_line(out, s.name + "_observed", s.labels, "",
+                  s.drift.observed_sum);
+        prom_line(out, s.name + "_model", s.labels, "", s.drift.model_sum);
+        prom_line(out, s.name + "_samples", s.labels, "",
+                  static_cast<double>(s.drift.samples));
+        break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace cubist::obs

@@ -9,9 +9,19 @@
 #include "core/view_selection.h"
 #include "lattice/cube_lattice.h"
 #include "lattice/memory_sim.h"
+#include "obs/drift.h"
+#include "obs/trace.h"
 
 namespace cubist::serving {
 namespace {
+
+/// Preformatted `kind="..."` label for per-class instruments.
+std::string kind_label(int kind) {
+  std::string label = "kind=\"";
+  label += query_kind_name(static_cast<QueryKind>(kind));
+  label += '"';
+  return label;
+}
 
 /// Applies a non-point query to a view array (materialized or scratch).
 QueryResult apply_to_view(const Query& query, const DenseArray& view) {
@@ -93,15 +103,45 @@ void QueryEngine::init_telemetry() {
   CUBIST_CHECK(options_.max_workers >= 0,
                "max_workers must be non-negative");
   if (options_.pool == nullptr) options_.pool = &ThreadPool::global();
+  registry_ = options_.registry;
+  if (registry_ == nullptr) {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
   if (options_.cache_budget_bytes > 0) {
-    cache_ = std::make_unique<SliceCache>(options_.cache_budget_bytes);
+    cache_ = std::make_unique<SliceCache>(options_.cache_budget_bytes,
+                                          registry_);
   }
-  // One sketch per class plus the overall sketch at the end.
-  sketches_.reserve(kNumQueryKinds + 1);
-  for (int i = 0; i <= kNumQueryKinds; ++i) {
-    sketches_.emplace_back(options_.sketch_epsilon,
-                           options_.sketch_max_count);
+  queries_ = &registry_->counter("cubist_serving_queries",
+                                 "queries executed (cache hits included)");
+  routed_direct_ = &registry_->counter(
+      "cubist_serving_routed",
+      "queries by routing outcome against the materialized set",
+      "route=\"direct\"");
+  routed_ancestor_ = &registry_->counter(
+      "cubist_serving_routed",
+      "queries by routing outcome against the materialized set",
+      "route=\"ancestor\"");
+  routed_input_ = &registry_->counter(
+      "cubist_serving_routed",
+      "queries by routing outcome against the materialized set",
+      "route=\"input\"");
+  for (int i = 0; i < kNumQueryKinds; ++i) {
+    const std::string label = kind_label(i);
+    class_cells_[static_cast<std::size_t>(i)] = &registry_->counter(
+        "cubist_serving_cells_scanned",
+        "cells scanned computing answers (cache hits scan nothing)", label);
+    class_latency_[static_cast<std::size_t>(i)] = &registry_->histogram(
+        "cubist_serving_latency_us", options_.sketch_epsilon,
+        options_.sketch_max_count, "query latency in microseconds", label);
   }
+  // One histogram over every query regardless of class (class sketches
+  // cannot be merged after the fact).
+  overall_latency_ = &registry_->histogram(
+      "cubist_serving_latency_us", options_.sketch_epsilon,
+      options_.sketch_max_count, "query latency in microseconds",
+      "kind=\"all\"");
+  query_drift_ = &obs::query_cost_vs_cells_gauge(*registry_);
 }
 
 const CubeResult& QueryEngine::snapshot() const {
@@ -158,9 +198,13 @@ QueryResult QueryEngine::compute_partial(const PartialSnapshot& snap,
 
 std::shared_ptr<const QueryResult> QueryEngine::execute(const Query& query) {
   const Timer timer;
-  queries_.fetch_add(1, std::memory_order_relaxed);
+  obs::Span span("serving", "query");
+  span.tag("kind", query_kind_name(query.kind))
+      .tag("view", static_cast<std::int64_t>(query.view.mask()));
+  queries_->increment();
   std::shared_ptr<const PartialSnapshot> snap;
   std::uint32_t routed_mask = query.view.mask();
+  bool ancestor_routed = false;
   if (serves_partial()) {
     // Pin one generation for the whole query; replan() swaps underneath
     // without ever invalidating it.
@@ -169,15 +213,20 @@ std::shared_ptr<const QueryResult> QueryEngine::execute(const Query& query) {
     const std::optional<DimSet> route = snap->routes.route(query.view);
     if (!route) {
       routed_mask = DimSet::full(snap->cube->ndims()).mask();
-      routed_input_.fetch_add(1, std::memory_order_relaxed);
+      routed_input_->increment();
+      span.tag("route", "input");
     } else if (*route == query.view) {
-      routed_direct_.fetch_add(1, std::memory_order_relaxed);
+      routed_direct_->increment();
+      span.tag("route", "direct");
     } else {
       routed_mask = route->mask();
-      routed_ancestor_.fetch_add(1, std::memory_order_relaxed);
+      ancestor_routed = true;
+      routed_ancestor_->increment();
+      span.tag("route", "ancestor");
     }
   } else {
-    routed_direct_.fetch_add(1, std::memory_order_relaxed);
+    routed_direct_->increment();
+    span.tag("route", "direct");
   }
   // Point queries bypass the cache: one array load is cheaper than one
   // cache probe, and memoizing 8-byte scalars only churns the index.
@@ -191,15 +240,32 @@ std::shared_ptr<const QueryResult> QueryEngine::execute(const Query& query) {
     key += '|';
     key += query.cache_key();
     if (std::shared_ptr<const QueryResult> hit = cache_->get(key)) {
+      obs::Instant("serving", "cache.hit")
+          .tag("view", static_cast<std::int64_t>(routed_mask));
       record_latency(query.kind, timer.elapsed_seconds() * 1e6);
       return hit;
     }
+    obs::Instant("serving", "cache.miss")
+        .tag("view", static_cast<std::int64_t>(routed_mask));
   }
   std::int64_t cells = 0;
   auto result = std::make_shared<const QueryResult>(
       snap ? compute_partial(*snap, query, &cells) : compute(query, &cells));
-  class_cells_[static_cast<std::size_t>(query.kind)].fetch_add(
-      cells, std::memory_order_relaxed);
+  class_cells_[static_cast<std::size_t>(query.kind)]->add(cells);
+  span.tag("cells", cells);
+  // Drift gauge #3: on the ancestor-projection path materialize_from
+  // reports exactly |ancestor| cells — the price query_cost() charges —
+  // so (measured, model) must agree to the tight tolerance. The direct
+  // path (direct_cells: slices touch |view|/extent) and the raw-input
+  // path (nnz vs the dense root the model charges) price differently by
+  // design and are excluded.
+  if (ancestor_routed && query.kind != QueryKind::kPoint &&
+      obs::drift_enabled()) {
+    query_drift_->record(
+        static_cast<double>(cells),
+        static_cast<double>(
+            snap->cube->view(DimSet::from_mask(routed_mask)).size()));
+  }
   if (cacheable) {
     cache_->put(key, result, static_cast<double>(cells));
   }
@@ -242,6 +308,8 @@ QueryEngine::ReplanReport QueryEngine::replan(std::int64_t budget_bytes) {
   // Serialize re-planners; readers are never blocked — each pins the
   // generation current at its start and finishes against it.
   const std::lock_guard<std::mutex> lock(replan_mutex_);
+  obs::Span span("serving", "replan");
+  span.tag("budget_bytes", budget_bytes);
   const std::shared_ptr<const PartialSnapshot> current =
       partial_snapshot_.load(std::memory_order_acquire);
   const PartialCube& cube = *current->cube;
@@ -268,53 +336,56 @@ QueryEngine::ReplanReport QueryEngine::replan(std::int64_t budget_bytes) {
           std::move(next_cube),
           AncestorTable::build(lattice, selection.views)}),
       std::memory_order_release);
+  obs::Instant("serving", "snapshot.swap")
+      .tag("views", static_cast<std::int64_t>(selection.views.size()))
+      .tag("materialized_bytes", report.materialized_bytes);
+  span.tag("certified_bytes", report.certified_bytes)
+      .tag("build_cells", report.build_cells_scanned);
   report.views = std::move(selection.views);
   return report;
 }
 
 std::int64_t QueryEngine::cells_scanned_total() const {
   std::int64_t total = 0;
-  for (const auto& cells : class_cells_) {
-    total += cells.load(std::memory_order_relaxed);
+  for (const obs::Counter* cells : class_cells_) {
+    total += cells->value();
   }
   return total;
 }
 
 void QueryEngine::record_latency(QueryKind kind, double micros) {
-  std::lock_guard<std::mutex> lock(telemetry_mutex_);
-  sketches_[static_cast<std::size_t>(kind)].add(micros);
-  sketches_[kNumQueryKinds].add(micros);
+  class_latency_[static_cast<std::size_t>(kind)]->observe(micros);
+  overall_latency_->observe(micros);
 }
 
 ServingStats QueryEngine::stats() const {
   ServingStats stats;
-  stats.queries = queries_.load(std::memory_order_relaxed);
+  stats.queries = queries_->value();
   stats.cache_enabled = cache_ != nullptr;
   if (cache_ != nullptr) stats.cache = cache_->stats();
   for (int i = 0; i < kNumQueryKinds; ++i) {
     const std::int64_t cells =
-        class_cells_[static_cast<std::size_t>(i)].load(
-            std::memory_order_relaxed);
+        class_cells_[static_cast<std::size_t>(i)]->value();
     stats.class_cells_scanned[static_cast<std::size_t>(i)] = cells;
     stats.cells_scanned += cells;
   }
-  stats.routed_direct = routed_direct_.load(std::memory_order_relaxed);
-  stats.routed_ancestor = routed_ancestor_.load(std::memory_order_relaxed);
-  stats.routed_input = routed_input_.load(std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(telemetry_mutex_);
+  stats.routed_direct = routed_direct_->value();
+  stats.routed_ancestor = routed_ancestor_->value();
+  stats.routed_input = routed_input_->value();
   for (int i = 0; i <= kNumQueryKinds; ++i) {
-    const QuantileSketch& sketch = sketches_[static_cast<std::size_t>(i)];
+    const obs::Histogram* histogram =
+        i < kNumQueryKinds ? class_latency_[static_cast<std::size_t>(i)]
+                           : overall_latency_;
+    const obs::HistogramSummary summary = histogram->summary();
     ClassLatency& lat = i < kNumQueryKinds
                             ? stats.latency[static_cast<std::size_t>(i)]
                             : stats.overall;
-    lat.count = sketch.count();
-    if (sketch.count() > 0) {
-      lat.p50_us = sketch.quantile(0.5);
-      lat.p99_us = sketch.quantile(0.99);
-      lat.p999_us = sketch.quantile(0.999);
-    }
-    stats.sketch_memory_bytes += sketch.memory_bytes();
-    stats.sketch_memory_bound_bytes += sketch.memory_bound_bytes();
+    lat.count = summary.count;
+    lat.p50_us = summary.p50;
+    lat.p99_us = summary.p99;
+    lat.p999_us = summary.p999;
+    stats.sketch_memory_bytes += summary.memory_bytes;
+    stats.sketch_memory_bound_bytes += summary.memory_bound_bytes;
   }
   return stats;
 }

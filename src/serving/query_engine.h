@@ -30,8 +30,18 @@
 //    memoized in a cost-weighted SliceCache keyed by the ROUTED view
 //    plus the canonical query descriptor (answers are route-invariant,
 //    so entries cached before a re-plan stay correct and simply age
-//    out). Point queries bypass the cache. Per-class latencies stream
-//    into bounded-memory QuantileSketches.
+//    out). Point queries bypass the cache. All serving telemetry —
+//    query/route/cell counters, per-class latency histograms (the same
+//    bounded-memory QuantileSketch as before, now inside
+//    obs::Histogram), cache counters — lives in an obs::Registry
+//    (options.registry, or an engine-private one), so `stats()` is a
+//    read-back view over the instruments and the metrics exporter sees
+//    the identical numbers: one source of truth, no double counting.
+//    Query execution is traced (obs::Span "serving"/"query" with
+//    kind/view/route tags, cache hit/miss instants, replan spans) and
+//    the ancestor-projection path feeds the
+//    cubist_drift_query_cost_vs_cells gauge — measured cells_scanned vs
+//    the query_cost() model, exact by the materialize_from contract.
 //
 // Batches run through the shared ThreadPool's chunked parallel_for (one
 // query per chunk), inheriting its exception propagation and per-rank
@@ -49,8 +59,8 @@
 #include <mutex>
 #include <vector>
 
-#include "common/quantile_sketch.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "core/cube_result.h"
 #include "core/partial_cube.h"
 #include "lattice/ancestor_table.h"
@@ -72,6 +82,11 @@ struct QueryEngineOptions {
   double sketch_epsilon = 0.002;
   /// Observation count the sketch error bound must survive.
   std::int64_t sketch_max_count = 2'000'000;
+  /// Registry the engine's instruments (cubist_serving_*) register in.
+  /// nullptr = an engine-private registry, so two engines in one process
+  /// never share counters; pass &obs::Registry::global() to fold the
+  /// engine into the process-wide export.
+  obs::Registry* registry = nullptr;
 };
 
 /// Latency percentiles for one query class, in microseconds.
@@ -136,7 +151,13 @@ class QueryEngine {
   std::vector<std::shared_ptr<const QueryResult>> execute_batch(
       const std::vector<Query>& batch);
 
+  /// Serving telemetry, read back from the registry instruments (the
+  /// struct is a view, not a second ledger).
   ServingStats stats() const;
+
+  /// The registry the engine's instruments live in (options.registry or
+  /// the engine-private one); snapshot it to export serving metrics.
+  obs::Registry& registry() { return *registry_; }
 
   /// Total cells scanned so far — the cells_scanned field of stats()
   /// without the quantile-sketch work; cheap enough to sample per query.
@@ -180,7 +201,8 @@ class QueryEngine {
     AncestorTable routes;
   };
 
-  /// Option validation, cache and sketch setup shared by both ctors.
+  /// Option validation, registry/instrument and cache setup shared by
+  /// both ctors.
   void init_telemetry();
   /// Computes the answer from the full snapshot; `cells` reports the
   /// cells scanned (the cache cost weight).
@@ -194,18 +216,23 @@ class QueryEngine {
   std::atomic<std::shared_ptr<const PartialSnapshot>> partial_snapshot_;
   QueryEngineOptions options_;
   std::unique_ptr<SliceCache> cache_;
-  std::atomic<std::int64_t> queries_{0};
   // Per-view query counts (partial mode; size = 2^ndims). A plain array
   // of relaxed atomics: one uncontended fetch_add per query.
   std::unique_ptr<std::atomic<std::int64_t>[]> view_freq_;
   std::int64_t num_view_slots_ = 0;
-  std::array<std::atomic<std::int64_t>, kNumQueryKinds> class_cells_{};
-  std::atomic<std::int64_t> routed_direct_{0};
-  std::atomic<std::int64_t> routed_ancestor_{0};
-  std::atomic<std::int64_t> routed_input_{0};
   std::mutex replan_mutex_;  // serializes re-planners, never readers
-  mutable std::mutex telemetry_mutex_;
-  std::vector<QuantileSketch> sketches_;  // one per QueryKind + overall
+  // Registry-backed telemetry: every counter/histogram below is an
+  // instrument owned by registry_; stats() reads them back.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
+  obs::Counter* queries_ = nullptr;
+  std::array<obs::Counter*, kNumQueryKinds> class_cells_{};
+  obs::Counter* routed_direct_ = nullptr;
+  obs::Counter* routed_ancestor_ = nullptr;
+  obs::Counter* routed_input_ = nullptr;
+  std::array<obs::Histogram*, kNumQueryKinds> class_latency_{};
+  obs::Histogram* overall_latency_ = nullptr;
+  obs::DriftGauge* query_drift_ = nullptr;
 };
 
 }  // namespace cubist::serving

@@ -3,22 +3,47 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "obs/trace.h"
 
 namespace cubist::serving {
 
-SliceCache::SliceCache(std::int64_t budget_bytes) : budget_(budget_bytes) {
+SliceCache::SliceCache(std::int64_t budget_bytes, obs::Registry* registry)
+    : budget_(budget_bytes) {
   CUBIST_CHECK(budget_bytes > 0, "cache budget must be positive, got "
                                      << budget_bytes);
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry = owned_registry_.get();
+  }
+  hits_ = &registry->counter("cubist_serving_cache_hits",
+                             "slice-cache lookups served from memory");
+  misses_ = &registry->counter("cubist_serving_cache_misses",
+                               "slice-cache lookups that fell through");
+  insertions_ = &registry->counter("cubist_serving_cache_insertions",
+                                   "results admitted into the slice cache");
+  evictions_ = &registry->counter(
+      "cubist_serving_cache_evictions",
+      "entries displaced by the GreedyDual-Size policy");
+  rejected_ = &registry->counter(
+      "cubist_serving_cache_rejected",
+      "results larger than the whole cache budget, never admitted");
+  entries_gauge_ = &registry->gauge("cubist_serving_cache_entries",
+                                    "resident slice-cache entries");
+  bytes_gauge_ = &registry->gauge("cubist_serving_cache_bytes",
+                                  "resident slice-cache payload bytes");
+  peak_bytes_gauge_ =
+      &registry->gauge("cubist_serving_cache_peak_bytes",
+                       "high-water resident slice-cache payload bytes");
 }
 
 std::shared_ptr<const QueryResult> SliceCache::get(const std::string& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
-    ++stats_.misses;
+    misses_->increment();
     return nullptr;
   }
-  ++stats_.hits;
+  hits_->increment();
   Entry& entry = it->second;
   // Refresh the GreedyDual priority against the current clock.
   by_priority_.erase(entry.rank);
@@ -35,7 +60,7 @@ void SliceCache::put(const std::string& key,
   const std::int64_t bytes = std::max<std::int64_t>(result->bytes(), 1);
   std::lock_guard<std::mutex> lock(mutex_);
   if (bytes > budget_) {
-    ++stats_.rejected;
+    rejected_->increment();
     return;
   }
   if (entries_.count(key) != 0) {
@@ -50,14 +75,14 @@ void SliceCache::put(const std::string& key,
   entry.rank = {clock_ + cost / static_cast<double>(bytes), seq_++};
   by_priority_.emplace(entry.rank, key);
   entries_.emplace(key, std::move(entry));
-  ++stats_.insertions;
-  stats_.bytes += bytes;
-  stats_.entries = static_cast<std::int64_t>(entries_.size());
-  stats_.peak_bytes = std::max(stats_.peak_bytes, stats_.bytes);
+  insertions_->increment();
+  bytes_ += bytes;
+  peak_bytes_ = std::max(peak_bytes_, bytes_);
+  publish_gauges();
 }
 
 void SliceCache::evict_to_fit(std::int64_t need) {
-  while (stats_.bytes + need > budget_ && !by_priority_.empty()) {
+  while (bytes_ + need > budget_ && !by_priority_.empty()) {
     auto victim = by_priority_.begin();
     // Age the clock to the victim's priority: future insertions compete
     // against the value of what was just displaced.
@@ -65,26 +90,43 @@ void SliceCache::evict_to_fit(std::int64_t need) {
     auto it = entries_.find(victim->second);
     CUBIST_ASSERT(it != entries_.end(),
                   "priority index out of sync with entry map");
-    stats_.bytes -= it->second.bytes;
-    ++stats_.evictions;
+    obs::Instant("serving", "cache.evict")
+        .tag("bytes", it->second.bytes)
+        .tag("priority", victim->first.first);
+    bytes_ -= it->second.bytes;
+    evictions_->increment();
     entries_.erase(it);
     by_priority_.erase(victim);
   }
-  stats_.entries = static_cast<std::int64_t>(entries_.size());
+}
+
+void SliceCache::publish_gauges() {
+  entries_gauge_->set(static_cast<double>(entries_.size()));
+  bytes_gauge_->set(static_cast<double>(bytes_));
+  peak_bytes_gauge_->set(static_cast<double>(peak_bytes_));
 }
 
 SliceCacheStats SliceCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  SliceCacheStats stats;
+  stats.hits = hits_->value();
+  stats.misses = misses_->value();
+  stats.insertions = insertions_->value();
+  stats.evictions = evictions_->value();
+  stats.rejected = rejected_->value();
+  stats.entries = static_cast<std::int64_t>(entries_.size());
+  stats.bytes = bytes_;
+  stats.peak_bytes = peak_bytes_;
+  return stats;
 }
 
 void SliceCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   by_priority_.clear();
-  stats_.bytes = 0;
-  stats_.entries = 0;
+  bytes_ = 0;
   clock_ = 0.0;
+  publish_gauges();
 }
 
 }  // namespace cubist::serving

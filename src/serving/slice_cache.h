@@ -21,6 +21,15 @@
 // Thread safety: all operations take an internal mutex. The mutex guards
 // only the cache's own index — cube reads never pass through it (the
 // engine's snapshot read path is lock-free; docs/SERVING.md).
+//
+// Telemetry: event counts (hits/misses/insertions/evictions/rejections)
+// live in obs::Registry counters named cubist_serving_cache_*, registered
+// in the registry the constructor is given (the engine passes its own);
+// `stats()` reads them back, so the struct is a view over the registry,
+// not a second ledger. Resident/peak byte state stays in plain fields —
+// the eviction loop is logic, not telemetry — and is mirrored into
+// gauges after every mutation. Evictions additionally emit an
+// obs::Instant on the "serving" track when tracing is on.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +40,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "serving/query.h"
 
 namespace cubist::serving {
@@ -58,7 +68,11 @@ struct SliceCacheStats {
 class SliceCache {
  public:
   /// `budget_bytes` must be positive; it bounds resident payload bytes.
-  explicit SliceCache(std::int64_t budget_bytes);
+  /// Event counters and byte gauges register in `registry` (nullptr =
+  /// a cache-private registry, keeping tests with several caches
+  /// isolated).
+  explicit SliceCache(std::int64_t budget_bytes,
+                      obs::Registry* registry = nullptr);
 
   /// The cached result for `key`, or nullptr (a miss). A hit refreshes
   /// the entry's GreedyDual priority.
@@ -90,6 +104,10 @@ class SliceCache {
   // Caller holds mutex_.
   void evict_to_fit(std::int64_t need);
 
+  // Pushes the resident byte state into the export gauges. Caller holds
+  // mutex_.
+  void publish_gauges();
+
   const std::int64_t budget_;
   mutable std::mutex mutex_;
   double clock_ = 0.0;       // L: priority of the last victim
@@ -97,7 +115,19 @@ class SliceCache {
   std::unordered_map<std::string, Entry> entries_;
   // (priority, sequence) -> key; begin() is the next victim.
   std::map<std::pair<double, std::uint64_t>, std::string> by_priority_;
-  SliceCacheStats stats_;
+  // Eviction-loop state (authoritative); mirrored to gauges for export.
+  std::int64_t bytes_ = 0;
+  std::int64_t peak_bytes_ = 0;
+  // Event counts live in the registry; stats() reads them back.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* insertions_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Gauge* entries_gauge_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
+  obs::Gauge* peak_bytes_gauge_ = nullptr;
 };
 
 }  // namespace cubist::serving

@@ -9,6 +9,7 @@
 #include "io/generators.h"
 #include "lattice/cube_lattice.h"
 #include "lattice/memory_sim.h"
+#include "obs/trace.h"
 
 namespace cubist {
 namespace {
@@ -75,6 +76,8 @@ CubeResult build_cube_tiled(const SparseArray& root, const TilingPlan& plan,
       persistent_cells(sizes) * static_cast<std::int64_t>(sizeof(Value));
 
   for (std::int64_t lo = 0; lo < sizes[0]; lo += plan.tile_extent) {
+    obs::Span tile_span("build", "tile");
+    tile_span.tag("lo", lo);
     const std::int64_t hi = std::min(sizes[0], lo + plan.tile_extent);
     std::vector<std::int64_t> slab_lo(static_cast<std::size_t>(n), 0);
     std::vector<std::int64_t> slab_hi = sizes;

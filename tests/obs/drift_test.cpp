@@ -1,0 +1,54 @@
+#include "obs/drift.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace cubist::obs {
+namespace {
+
+TEST(DriftTest, EnableSwitchRoundTrips) {
+  const bool previous = drift_enabled();
+  set_drift_enabled(true);
+  EXPECT_TRUE(drift_enabled());
+  set_drift_enabled(false);
+  EXPECT_FALSE(drift_enabled());
+  set_drift_enabled(previous);
+}
+
+TEST(DriftTest, CanonicalGaugesRegisterWithStandardTolerances) {
+  Registry registry;
+  DriftGauge& wire = wire_vs_lemma1_gauge(registry);
+  DriftGauge& reduce = reduce_clock_vs_sim_gauge(registry);
+  DriftGauge& query = query_cost_vs_cells_gauge(registry);
+  // Re-registration returns the same instruments.
+  EXPECT_EQ(&wire, &wire_vs_lemma1_gauge(registry));
+  EXPECT_EQ(&reduce, &reduce_clock_vs_sim_gauge(registry));
+  EXPECT_EQ(&query, &query_cost_vs_cells_gauge(registry));
+
+  wire.record(50.0, 100.0);
+  reduce.record(1.2, 1.0);
+  query.record(100.0, 100.0);
+  EXPECT_DOUBLE_EQ(wire.summary().tolerance_min, kWireVsLemma1Min);
+  EXPECT_DOUBLE_EQ(wire.summary().tolerance_max, kWireVsLemma1Max);
+  EXPECT_DOUBLE_EQ(reduce.summary().tolerance_min, kReduceClockVsSimMin);
+  EXPECT_DOUBLE_EQ(reduce.summary().tolerance_max, kReduceClockVsSimMax);
+  EXPECT_DOUBLE_EQ(query.summary().tolerance_min, kQueryCostVsCellsMin);
+  EXPECT_DOUBLE_EQ(query.summary().tolerance_max, kQueryCostVsCellsMax);
+  EXPECT_TRUE(wire.within());
+  EXPECT_TRUE(reduce.within());
+  EXPECT_TRUE(query.within());
+
+  // Wire traffic above the Lemma-1 certificate is a violation: the codec
+  // may only ever undercut the dense bound.
+  wire.record(200.0, 100.0);
+  EXPECT_FALSE(wire.within());
+
+  const std::string json = registry.snapshot().to_json();
+  EXPECT_NE(json.find(kDriftWireVsLemma1), std::string::npos);
+  EXPECT_NE(json.find(kDriftReduceClockVsSim), std::string::npos);
+  EXPECT_NE(json.find(kDriftQueryCostVsCells), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cubist::obs

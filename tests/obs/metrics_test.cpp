@@ -1,0 +1,163 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace cubist::obs {
+namespace {
+
+TEST(MetricsTest, CounterAccumulatesAcrossThreads) {
+  Registry registry;
+  Counter& counter = registry.counter("cubist_test_events", "help");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < 1000; ++i) counter.increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), 4000);
+}
+
+TEST(MetricsTest, GaugeSetMaxKeepsHighWater) {
+  Gauge gauge;
+  gauge.set(5.0);
+  gauge.set_max(3.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 5.0);
+  gauge.set_max(9.0);
+  EXPECT_DOUBLE_EQ(gauge.value(), 9.0);
+  gauge.set(1.0);  // plain set still overwrites downward
+  EXPECT_DOUBLE_EQ(gauge.value(), 1.0);
+}
+
+TEST(MetricsTest, HistogramSummarizesQuantilesWithinSketchError) {
+  Histogram histogram(0.01, 10000);
+  for (int i = 1; i <= 1000; ++i) histogram.observe(static_cast<double>(i));
+  const HistogramSummary summary = histogram.summary();
+  EXPECT_EQ(summary.count, 1000);
+  EXPECT_DOUBLE_EQ(summary.sum, 500500.0);
+  // epsilon = 0.01 over n = 1000 -> rank error <= 10.
+  EXPECT_NEAR(summary.p50, 500.0, 20.0);
+  EXPECT_NEAR(summary.p99, 990.0, 20.0);
+  EXPECT_GE(summary.p999, summary.p99);
+  EXPECT_GT(summary.memory_bytes, 0);
+  EXPECT_LE(summary.memory_bytes, summary.memory_bound_bytes);
+}
+
+TEST(MetricsTest, RegistryDedupesByNameAndLabels) {
+  Registry registry;
+  Counter& a = registry.counter("cubist_test_total", "help", "kind=\"x\"");
+  Counter& again =
+      registry.counter("cubist_test_total", "help", "kind=\"x\"");
+  Counter& other = registry.counter("cubist_test_total", "help",
+                                    "kind=\"y\"");
+  EXPECT_EQ(&a, &again);
+  EXPECT_NE(&a, &other);
+  a.add(3);
+  EXPECT_EQ(again.value(), 3);
+  EXPECT_EQ(other.value(), 0);
+}
+
+TEST(MetricsTest, RegistryRejectsKindMismatch) {
+  Registry registry;
+  registry.counter("cubist_test_metric", "help");
+  EXPECT_THROW(registry.gauge("cubist_test_metric", "help"),
+               InvalidArgument);
+}
+
+TEST(MetricsTest, SnapshotIsSortedAndDeterministic) {
+  Registry registry;
+  registry.counter("cubist_z_total").add(1);
+  registry.gauge("cubist_a_value").set(2.0);
+  registry.counter("cubist_m_total", "", "kind=\"b\"").add(1);
+  registry.counter("cubist_m_total", "", "kind=\"a\"").add(1);
+  const MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.samples.size(), 4u);
+  EXPECT_EQ(snapshot.samples[0].name, "cubist_a_value");
+  EXPECT_EQ(snapshot.samples[1].name, "cubist_m_total");
+  EXPECT_EQ(snapshot.samples[1].labels, "kind=\"a\"");
+  EXPECT_EQ(snapshot.samples[2].labels, "kind=\"b\"");
+  EXPECT_EQ(snapshot.samples[3].name, "cubist_z_total");
+  EXPECT_EQ(registry.snapshot().to_json(), snapshot.to_json());
+}
+
+TEST(MetricsTest, JsonExportCarriesSchemaAndEveryInstrumentKind) {
+  Registry registry;
+  registry.counter("cubist_test_total", "a counter").add(7);
+  registry.gauge("cubist_test_value", "a gauge").set(1.5);
+  registry.histogram("cubist_test_latency_us", 0.01, 1000, "a histogram")
+      .observe(12.0);
+  registry.drift("cubist_drift_test", 0.9, 1.1, "a drift gauge")
+      .record(10.0, 10.0);
+  const std::string json = registry.snapshot().to_json();
+  EXPECT_NE(json.find("\"schema\":\"cubist-metrics/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"cubist_test_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"drift\""), std::string::npos);
+  EXPECT_NE(json.find("\"help\":\"a counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"within\":true"), std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusExportFollowsTextExposition) {
+  Registry registry;
+  registry.counter("cubist_test_total", "a counter", "kind=\"x\"").add(7);
+  registry.gauge("cubist_test_value", "a gauge").set(1.5);
+  registry.histogram("cubist_test_latency_us", 0.01, 1000).observe(12.0);
+  const std::string text = registry.snapshot().to_prometheus();
+  EXPECT_NE(text.find("# HELP cubist_test_total a counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cubist_test_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("cubist_test_total{kind=\"x\"} 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cubist_test_value gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE cubist_test_latency_us summary"),
+            std::string::npos);
+  EXPECT_NE(text.find("cubist_test_latency_us{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("cubist_test_latency_us_count 1"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(MetricsTest, DriftGaugeAggregatesRatioAndExtremes) {
+  DriftGauge gauge(0.5, 1.5);
+  gauge.record(8.0, 10.0);   // ratio 0.8
+  gauge.record(12.0, 10.0);  // ratio 1.2
+  const DriftSummary summary = gauge.summary();
+  EXPECT_EQ(summary.samples, 2);
+  EXPECT_DOUBLE_EQ(summary.observed_sum, 20.0);
+  EXPECT_DOUBLE_EQ(summary.model_sum, 20.0);
+  EXPECT_DOUBLE_EQ(summary.ratio, 1.0);
+  EXPECT_DOUBLE_EQ(summary.min_ratio, 0.8);
+  EXPECT_DOUBLE_EQ(summary.max_ratio, 1.2);
+  EXPECT_TRUE(summary.within);
+}
+
+TEST(MetricsTest, DriftGaugeFlagsOutOfToleranceAggregate) {
+  DriftGauge gauge(0.9, 1.1);
+  gauge.record(20.0, 10.0);
+  EXPECT_FALSE(gauge.within());
+  const DriftSummary summary = gauge.summary();
+  EXPECT_DOUBLE_EQ(summary.ratio, 2.0);
+  EXPECT_FALSE(summary.within);
+}
+
+TEST(MetricsTest, DriftGaugeIgnoresNonPositiveModels) {
+  DriftGauge gauge(0.9, 1.1);
+  gauge.record(5.0, 0.0);
+  gauge.record(5.0, -1.0);
+  const DriftSummary summary = gauge.summary();
+  EXPECT_EQ(summary.samples, 0);
+  EXPECT_DOUBLE_EQ(summary.ratio, 0.0);
+  EXPECT_TRUE(summary.within);  // vacuously: nothing measured yet
+}
+
+}  // namespace
+}  // namespace cubist::obs

@@ -1,0 +1,155 @@
+// Registry-backed serving telemetry: ServingStats and SliceCacheStats
+// keep their public shapes but every number is read back from obs
+// Registry instruments — one source of truth, no double counting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/sequential_builder.h"
+#include "obs/metrics.h"
+#include "serving/query_engine.h"
+#include "serving/slice_cache.h"
+#include "test_util.h"
+
+namespace cubist::serving {
+namespace {
+
+std::shared_ptr<const CubeResult> small_cube() {
+  const DenseArray input = testing::random_dense({6, 5, 4}, 0.7, 11);
+  return std::make_shared<const CubeResult>(build_cube_sequential(input));
+}
+
+std::shared_ptr<const QueryResult> make_result(std::int64_t values) {
+  QueryResult result;
+  result.kind = QueryKind::kSlice;
+  result.array = DenseArray{Shape{{values}}};
+  return std::make_shared<const QueryResult>(std::move(result));
+}
+
+/// The counter sample with this (name, labels), or -1 when absent.
+std::int64_t counter_value(const obs::MetricsSnapshot& snapshot,
+                           const std::string& name,
+                           const std::string& labels = "") {
+  for (const obs::MetricSample& sample : snapshot.samples) {
+    if (sample.name == name && sample.labels == labels) {
+      return sample.counter_value;
+    }
+  }
+  return -1;
+}
+
+double gauge_value(const obs::MetricsSnapshot& snapshot,
+                   const std::string& name) {
+  for (const obs::MetricSample& sample : snapshot.samples) {
+    if (sample.name == name) return sample.gauge_value;
+  }
+  return -1.0;
+}
+
+TEST(ServingTelemetryTest, CacheStatsReadBackFromRegistryInstruments) {
+  obs::Registry registry;
+  SliceCache cache(240, &registry);
+  cache.get("a");                       // miss
+  cache.put("a", make_result(10), 1.0);
+  cache.get("a");                       // hit
+  cache.put("b", make_result(10), 1.0);
+  cache.put("c", make_result(10), 1.0);
+  cache.put("d", make_result(10), 1.0);  // evicts the LRU entry
+
+  const SliceCacheStats stats = cache.stats();
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(counter_value(snapshot, "cubist_serving_cache_hits"),
+            stats.hits);
+  EXPECT_EQ(counter_value(snapshot, "cubist_serving_cache_misses"),
+            stats.misses);
+  EXPECT_EQ(counter_value(snapshot, "cubist_serving_cache_insertions"),
+            stats.insertions);
+  EXPECT_EQ(counter_value(snapshot, "cubist_serving_cache_evictions"),
+            stats.evictions);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 4);
+  EXPECT_EQ(stats.evictions, 1);
+  // Byte/entry state mirrors to gauges on every mutation.
+  EXPECT_EQ(gauge_value(snapshot, "cubist_serving_cache_entries"),
+            static_cast<double>(stats.entries));
+  EXPECT_EQ(gauge_value(snapshot, "cubist_serving_cache_bytes"),
+            static_cast<double>(stats.bytes));
+  EXPECT_EQ(gauge_value(snapshot, "cubist_serving_cache_peak_bytes"),
+            static_cast<double>(stats.peak_bytes));
+  EXPECT_EQ(stats.peak_bytes, 240);
+}
+
+TEST(ServingTelemetryTest, EngineStatsMatchRegistryExactly) {
+  obs::Registry registry;
+  QueryEngineOptions options;
+  options.registry = &registry;
+  QueryEngine engine(small_cube(), options);
+
+  const Query cached = Query::slice(DimSet::of({0, 1}), 0, 1);
+  engine.execute(cached);
+  engine.execute(cached);
+  engine.execute(Query::point(DimSet::of({0}), {2}));
+
+  const ServingStats stats = engine.stats();
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  EXPECT_EQ(stats.queries, 3);
+  EXPECT_EQ(counter_value(snapshot, "cubist_serving_queries"),
+            stats.queries);
+  EXPECT_EQ(counter_value(snapshot, "cubist_serving_routed",
+                          "route=\"direct\""),
+            stats.routed_direct);
+  EXPECT_EQ(counter_value(snapshot, "cubist_serving_cache_hits"),
+            stats.cache.hits);
+  EXPECT_EQ(counter_value(snapshot, "cubist_serving_cache_misses"),
+            stats.cache.misses);
+  EXPECT_EQ(stats.cache.hits, 1);
+  EXPECT_EQ(stats.cache.misses, 1);
+  // Latency histograms export under the same registry, per kind plus an
+  // overall track, and the struct's per-class counts come from them.
+  EXPECT_EQ(
+      stats.latency[static_cast<std::size_t>(QueryKind::kSlice)].count, 2);
+  bool found_overall = false;
+  for (const obs::MetricSample& sample : snapshot.samples) {
+    if (sample.name == "cubist_serving_latency_us" &&
+        sample.labels == "kind=\"all\"") {
+      found_overall = true;
+      EXPECT_EQ(sample.histogram.count, 3);
+    }
+  }
+  EXPECT_TRUE(found_overall);
+}
+
+TEST(ServingTelemetryTest, EnginesWithoutSharedRegistryStayIsolated) {
+  // No registry in options -> each engine owns a private one, so two
+  // engines in one process never cross-count.
+  QueryEngine first(small_cube());
+  QueryEngine second(small_cube());
+  first.execute(Query::point(DimSet::of({0}), {1}));
+  first.execute(Query::point(DimSet::of({0}), {2}));
+  second.execute(Query::point(DimSet::of({0}), {3}));
+  EXPECT_EQ(first.stats().queries, 2);
+  EXPECT_EQ(second.stats().queries, 1);
+  EXPECT_EQ(counter_value(first.registry().snapshot(),
+                          "cubist_serving_queries"),
+            2);
+  EXPECT_EQ(counter_value(second.registry().snapshot(),
+                          "cubist_serving_queries"),
+            1);
+}
+
+TEST(ServingTelemetryTest, CacheWithoutRegistryStillCounts) {
+  SliceCache cache(1 << 20);
+  cache.get("a");
+  cache.put("a", make_result(10), 1.0);
+  cache.get("a");
+  const SliceCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.bytes, 80);
+}
+
+}  // namespace
+}  // namespace cubist::serving

@@ -1,0 +1,252 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cubist::obs {
+namespace {
+
+/// Every test runs against the process-wide tracer, so each one starts
+/// from a clean enabled state and leaves the tracer off.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_thread_identity("main", kTidMain);
+    Tracer::instance().reset();
+    Tracer::instance().set_enabled(true);
+  }
+  void TearDown() override {
+    Tracer::instance().set_enabled(false);
+    Tracer::instance().reset();
+  }
+
+  /// The capture slot for the calling test thread (by tid).
+  static const ThreadCapture* find_thread(const TraceCapture& capture,
+                                          int tid) {
+    for (const ThreadCapture& thread : capture.threads) {
+      if (thread.tid == tid) return &thread;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(TraceTest, DisabledTracerEmitsNothing) {
+  Tracer::instance().set_enabled(false);
+  {
+    Span span("test", "quiet");
+    span.tag("k", std::int64_t{1});
+    Instant("test", "quiet.instant").tag("k", std::int64_t{2});
+    EXPECT_FALSE(span.active());
+  }
+  const TraceCapture capture = Tracer::instance().capture();
+  EXPECT_EQ(capture.total_records(), 0);
+  EXPECT_EQ(capture.total_dropped(), 0);
+}
+
+TEST_F(TraceTest, SpansNestPerThreadAndCommitInnerFirst) {
+  {
+    Span outer("test", "outer");
+    {
+      Span inner("test", "inner");
+      Instant("test", "tick");
+    }
+  }
+  const TraceCapture capture = Tracer::instance().capture();
+  const ThreadCapture* main = find_thread(capture, kTidMain);
+  ASSERT_NE(main, nullptr);
+  ASSERT_EQ(main->records.size(), 3u);
+  // RAII commit order: the instant, then the inner span, then the outer.
+  EXPECT_STREQ(main->records[0].name, "tick");
+  EXPECT_STREQ(main->records[1].name, "inner");
+  EXPECT_STREQ(main->records[2].name, "outer");
+  const TraceRecord& inner = main->records[1];
+  const TraceRecord& outer = main->records[2];
+  EXPECT_FALSE(inner.instant);
+  EXPECT_FALSE(outer.instant);
+  // Timestamps nest: the inner span lies inside the outer's interval.
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.start_ns + inner.duration_ns,
+            outer.start_ns + outer.duration_ns);
+  // The instant lies inside the inner span.
+  EXPECT_GE(main->records[0].start_ns, inner.start_ns);
+  EXPECT_LE(main->records[0].start_ns, inner.start_ns + inner.duration_ns);
+}
+
+TEST_F(TraceTest, TagsAreTypedAndCappedAtMax) {
+  {
+    Span span("test", "tags");
+    span.tag("i", std::int64_t{42});
+    span.tag("d", 2.5);
+    span.tag("s", "value");
+    // Four more would exceed kMaxTraceTags = 6; the excess is dropped.
+    span.tag("a", std::int64_t{1}).tag("b", std::int64_t{2});
+    span.tag("c", std::int64_t{3}).tag("overflow", std::int64_t{4});
+  }
+  const TraceCapture capture = Tracer::instance().capture();
+  const ThreadCapture* main = find_thread(capture, kTidMain);
+  ASSERT_NE(main, nullptr);
+  ASSERT_EQ(main->records.size(), 1u);
+  const TraceRecord& record = main->records[0];
+  ASSERT_EQ(record.num_tags, kMaxTraceTags);
+  EXPECT_STREQ(record.tags[0].key, "i");
+  EXPECT_EQ(record.tags[0].kind, TraceTag::Kind::kInt);
+  EXPECT_EQ(record.tags[0].int_value, 42);
+  EXPECT_EQ(record.tags[1].kind, TraceTag::Kind::kDouble);
+  EXPECT_DOUBLE_EQ(record.tags[1].double_value, 2.5);
+  EXPECT_EQ(record.tags[2].kind, TraceTag::Kind::kString);
+  EXPECT_STREQ(record.tags[2].string_value, "value");
+  EXPECT_STREQ(record.tags[kMaxTraceTags - 1].key, "c");
+}
+
+TEST_F(TraceTest, FullBufferDropsNewestKeepingDeterministicPrefix) {
+  Tracer& tracer = Tracer::instance();
+  const std::int64_t previous_capacity = tracer.buffer_capacity();
+  tracer.set_buffer_capacity(4);
+  std::thread emitter([] {
+    set_thread_identity("small-buffer", kTidClientBase + 17);
+    for (std::int64_t i = 0; i < 7; ++i) {
+      Instant("test", "drop").tag("i", i);
+    }
+  });
+  emitter.join();
+  tracer.set_buffer_capacity(previous_capacity);
+
+  const TraceCapture capture = tracer.capture();
+  const ThreadCapture* thread = find_thread(capture, kTidClientBase + 17);
+  ASSERT_NE(thread, nullptr);
+  EXPECT_EQ(thread->track_name, "small-buffer");
+  ASSERT_EQ(thread->records.size(), 4u);
+  EXPECT_EQ(thread->dropped, 3);
+  // Drop-newest, not wrapping: the survivors are the FIRST four emitted.
+  for (std::int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(thread->records[static_cast<std::size_t>(i)].tags[0].int_value,
+              i);
+  }
+}
+
+TEST_F(TraceTest, ScopedIdentityRestoresThePreviousTrack) {
+  std::thread worker([] {
+    set_thread_identity("role-a", kTidClientBase + 1);
+    Instant("test", "as-a");
+    {
+      ScopedThreadIdentity inner("role-b", kTidClientBase + 2);
+      Instant("test", "as-b");
+    }
+    Instant("test", "as-a-again");
+  });
+  worker.join();
+  // One thread has exactly one buffer; identity changes rename it, and
+  // the scope restored "role-a" before the thread exited.
+  const TraceCapture capture = Tracer::instance().capture();
+  const ThreadCapture* thread = find_thread(capture, kTidClientBase + 1);
+  ASSERT_NE(thread, nullptr);
+  EXPECT_EQ(thread->track_name, "role-a");
+  EXPECT_EQ(thread->records.size(), 3u);
+  EXPECT_EQ(find_thread(capture, kTidClientBase + 2), nullptr);
+}
+
+TEST_F(TraceTest, ChromeJsonHasMetadataSpansAndInstants) {
+  {
+    Span span("cat", "region");
+    span.tag("n", std::int64_t{3});
+    Instant("cat", "point").tag("label", "x");
+  }
+  const std::string json = Tracer::instance().capture().to_chrome_json();
+  // Well-formed envelope.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+  EXPECT_NE(json.find("{\"traceEvents\":["), std::string::npos);
+  // Thread-name metadata for the main track.
+  EXPECT_NE(
+      json.find("\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\","
+                "\"args\":{\"name\":\"main\"}"),
+      std::string::npos);
+  // A complete event with a duration and a thread-scoped instant.
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"region\",\"cat\":\"cat\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  // Tags ride in args.
+  EXPECT_NE(json.find("\"n\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"x\""), std::string::npos);
+}
+
+TEST_F(TraceTest, StructureSignatureIsTimestampFreeAndDeterministic) {
+  const auto emit_workload = [] {
+    Span span("test", "phase");
+    span.tag("views", std::int64_t{4});
+    for (std::int64_t i = 0; i < 3; ++i) {
+      Instant("test", "step").tag("i", i).tag("elapsed", 0.25 * double(i));
+    }
+  };
+  emit_workload();
+  const std::string first = Tracer::instance().capture().structure_signature();
+  Tracer::instance().reset();
+  emit_workload();
+  const std::string second =
+      Tracer::instance().capture().structure_signature();
+  // Same structure, different timestamps (and different double tag
+  // values) -> identical signatures.
+  EXPECT_EQ(first, second);
+
+  Tracer::instance().reset();
+  emit_workload();
+  Instant("test", "extra");
+  EXPECT_NE(Tracer::instance().capture().structure_signature(), first);
+}
+
+TEST_F(TraceTest, ConcurrentEmissionCapturesConsistentPrefixes) {
+  constexpr int kThreads = 4;
+  constexpr std::int64_t kEvents = 400;
+  std::atomic<bool> go{false};
+  std::atomic<int> done{0};
+  std::vector<std::thread> emitters;
+  emitters.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    emitters.emplace_back([t, &go, &done] {
+      set_thread_identity("emitter", kTidClientBase + 100 + t);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (std::int64_t i = 0; i < kEvents; ++i) {
+        Instant("test", "evt").tag("i", i);
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Capture continuously while the emitters run: every snapshot of every
+  // track must be a prefix of that thread's emission order.
+  while (done.load(std::memory_order_acquire) < kThreads) {
+    const TraceCapture capture = Tracer::instance().capture();
+    for (const ThreadCapture& thread : capture.threads) {
+      if (thread.tid < kTidClientBase + 100 ||
+          thread.tid >= kTidClientBase + 100 + kThreads) {
+        continue;
+      }
+      for (std::size_t i = 0; i < thread.records.size(); ++i) {
+        ASSERT_EQ(thread.records[i].tags[0].int_value,
+                  static_cast<std::int64_t>(i));
+      }
+    }
+  }
+  for (std::thread& thread : emitters) thread.join();
+  const TraceCapture capture = Tracer::instance().capture();
+  for (int t = 0; t < kThreads; ++t) {
+    const ThreadCapture* thread = find_thread(capture,
+                                              kTidClientBase + 100 + t);
+    ASSERT_NE(thread, nullptr);
+    EXPECT_EQ(static_cast<std::int64_t>(thread->records.size()) +
+                  thread->dropped,
+              kEvents);
+  }
+}
+
+}  // namespace
+}  // namespace cubist::obs

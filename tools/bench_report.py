@@ -78,6 +78,36 @@ point. Per-query cells_scanned is deterministic (fixed streams, cache
 off), so the CI smoke run enforces the feedback loop's advantage exactly,
 with no latency noise in the gate.
 
+With --obs, instead runs the tracer-overhead benchmarks
+(bench/bench_obs: unit span cost, the dense 3-target aggregation kernel
+bare/disabled/enabled, and the Zipfian serving point disabled/enabled)
+plus one cubist-trace workload, and writes BENCH_obs.json:
+
+  {
+    "schema": "cubist-bench-obs/1",
+    "overhead_limit_pct": 1.0,
+    "disabled_span_ns": ...,    # unit cost of one disabled Span + tags
+    "kernel": {"bare_ns": ..., "disabled_ns": ..., "enabled_ns": ...,
+               "spans_per_op": 1.0, "computed_bound_pct": ...,
+               "measured_delta_pct": ...},
+    "serving": {"disabled_ns": ..., "enabled_ns": ...,
+                "spans_per_query": ..., "computed_bound_pct": ...,
+                "measured_delta_pct": ...},
+    "drift": {                  # from cubist-trace's metrics.json
+      "cubist_drift_wire_vs_lemma1": {"samples": ..., "ratio": ...,
+        "tolerance_min": ..., "tolerance_max": ..., "within": true}, ...
+    }
+  }
+
+The overhead and drift numbers are checked, not just recorded: the script
+exits non-zero if the computed disabled-tracer bound — unit span cost x
+instrumentation density over measured work time — exceeds 1% on either
+the kernel or the serving point, or if any drift gauge comes back
+unpopulated or outside its tolerance window. The computed bound is the
+gate because it is deterministic; the directly measured
+disabled-vs-bare deltas ride along as evidence (they are noise at this
+scale and can even come out negative).
+
 In the default (kernel) mode it wraps bench/bench_kernels with
 --benchmark_format=json, sweeps CUBIST_THREADS over a thread list, and
 normalizes the per-run JSON into one stable document:
@@ -112,15 +142,27 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 
 DEFAULT_OUT = "BENCH_kernels.json"
 DEFAULT_COMM_OUT = "BENCH_comm.json"
 DEFAULT_SERVING_OUT = "BENCH_serving.json"
+DEFAULT_OBS_OUT = "BENCH_obs.json"
 DEFAULT_BINARY_DIRS = ("build-release", "build")
 SCHEMA = "cubist-bench-kernels/1"
 COMM_SCHEMA = "cubist-bench-comm/2"
 SERVING_SCHEMA = "cubist-bench-serving/2"
+OBS_SCHEMA = "cubist-bench-obs/1"
 QUERY_CLASSES = ("point", "slice", "dice", "rollup", "topk")
+
+# The disabled-tracer contract from src/obs/trace.h: instrumentation left
+# compiled into the hot paths must bound below this share of real work.
+OBS_OVERHEAD_LIMIT_PCT = 1.0
+DRIFT_GAUGES = (
+    "cubist_drift_wire_vs_lemma1",
+    "cubist_drift_reduce_clock_vs_sim",
+    "cubist_drift_query_cost_vs_cells",
+)
 
 # The parameters the comm benches run under, recorded in BENCH_comm.json so
 # the numbers are reproducible from the artifact alone. Mirrors
@@ -568,6 +610,198 @@ def serving_partial_sweep(binary, smoke):
     return partial_rows, adaptive_vs_static
 
 
+def find_tool(name):
+    """Like find_binary, but for executables under <build>/tools/."""
+    here = os.path.dirname(os.path.abspath(__file__))
+    root = os.path.dirname(here)
+    for build in DEFAULT_BINARY_DIRS:
+        candidate = os.path.join(root, build, "tools", name)
+        if os.path.isfile(candidate):
+            return candidate
+    sys.exit(
+        f"{name} binary not found under "
+        + " or ".join(DEFAULT_BINARY_DIRS)
+        + f"; build it (cmake --build build --target {name})"
+    )
+
+
+def time_ns(bench):
+    """One google-benchmark entry's real time, in nanoseconds."""
+    return to_ms(bench["real_time"], bench.get("time_unit", "ns")) * 1e6
+
+
+def obs_report(args):
+    """--obs mode: bench_obs + cubist-trace -> BENCH_obs.json."""
+    binary = find_binary(args.binary, "bench_obs")
+    min_time = 0.02 if args.smoke else args.min_time
+    print(f"running {os.path.basename(binary)} "
+          f"(tracer overhead points, min_time {min_time}s) ...")
+    raw = run_once(binary, 1, args.filter or "", min_time)
+
+    span_ns = None
+    kernel_modes = {}
+    serving_modes = {}
+    for bench in raw.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        if name.startswith("BM_DisabledSpanNs"):
+            span_ns = time_ns(bench)
+        elif name.startswith("BM_DenseAggTrace/"):
+            kernel_modes[int(bench.get("mode", -1))] = bench
+        elif name.startswith("BM_ServingZipfTrace/"):
+            serving_modes[int(bench.get("enabled", -1))] = bench
+    if span_ns is None or {0, 1, 2} - set(kernel_modes) or \
+            {0, 1} - set(serving_modes):
+        sys.exit("bench_obs did not produce all overhead points; "
+                 "wrong filter or binary?")
+
+    violations = []
+
+    def overhead_point(label, work_ns, spans_per_op, disabled_ns, enabled_ns):
+        """Computed disabled-tracer bound for one instrumented point."""
+        bound_pct = 100.0 * span_ns * spans_per_op / work_ns
+        if bound_pct > OBS_OVERHEAD_LIMIT_PCT:
+            violations.append(
+                f"{label}: computed disabled-tracer bound {bound_pct:.3f}% "
+                f"exceeds {OBS_OVERHEAD_LIMIT_PCT}% "
+                f"({span_ns:.1f} ns x {spans_per_op:g} spans over "
+                f"{work_ns:.0f} ns of work)"
+            )
+        return {
+            "spans_per_op": round(spans_per_op, 4),
+            "computed_bound_pct": round(bound_pct, 4),
+            "measured_delta_pct": round(
+                100.0 * (disabled_ns - work_ns) / work_ns, 2
+            ),
+            "enabled_delta_pct": round(
+                100.0 * (enabled_ns - work_ns) / work_ns, 2
+            ),
+        }
+
+    kernel = {
+        "bare_ns": round(time_ns(kernel_modes[0]), 1),
+        "disabled_ns": round(time_ns(kernel_modes[1]), 1),
+        "enabled_ns": round(time_ns(kernel_modes[2]), 1),
+    }
+    kernel.update(overhead_point(
+        "dense kernel", time_ns(kernel_modes[0]),
+        kernel_modes[1].get("spans_per_op", 1.0),
+        time_ns(kernel_modes[1]), time_ns(kernel_modes[2]),
+    ))
+    serving = {
+        "disabled_ns": round(time_ns(serving_modes[0]), 1),
+        "enabled_ns": round(time_ns(serving_modes[1]), 1),
+    }
+    # The serving instrumentation has no "bare" mode — it is compiled in
+    # permanently — so the disabled run IS the work baseline.
+    serving.update(overhead_point(
+        "zipf serving", time_ns(serving_modes[0]),
+        serving_modes[1].get("spans_per_query", 1.0),
+        time_ns(serving_modes[0]), time_ns(serving_modes[1]),
+    ))
+    del serving["measured_delta_pct"]
+    serving["spans_per_query"] = serving.pop("spans_per_op")
+
+    drift, trace_summary = obs_trace_run(args, violations)
+
+    report = {
+        "schema": OBS_SCHEMA,
+        "generated_by": "tools/bench_report.py --obs",
+        "smoke": args.smoke,
+        "overhead_limit_pct": OBS_OVERHEAD_LIMIT_PCT,
+        "disabled_span_ns": round(span_ns, 2),
+        "kernel": kernel,
+        "serving": serving,
+        "trace": trace_summary,
+        "drift": drift,
+    }
+    out = args.out if args.out != DEFAULT_OUT else DEFAULT_OBS_OUT
+    with open(out, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=2, sort_keys=False)
+        f.write("\n")
+    print(f"wrote {out} (span {span_ns:.1f} ns, kernel bound "
+          f"{kernel['computed_bound_pct']}%, serving bound "
+          f"{serving['computed_bound_pct']}%, {len(drift)} drift gauges)")
+    for violation in violations:
+        sys.stderr.write(f"observability contract violated: {violation}\n")
+    if violations:
+        sys.exit("tracer overhead or drift certification gate failed")
+    return 0
+
+
+def obs_trace_run(args, violations):
+    """Runs one cubist-trace workload; returns (drift gauges, summary).
+
+    Appends to `violations` if the tool itself fails its certification
+    exit code, if the timeline is not valid Chrome trace JSON, or if any
+    of the three drift gauges is unpopulated or out of tolerance.
+    """
+    tool = find_tool("cubist-trace")
+    with tempfile.TemporaryDirectory(prefix="cubist-obs-") as tmp:
+        trace_path = os.path.join(tmp, "trace.json")
+        metrics_path = os.path.join(tmp, "metrics.json")
+        prom_path = os.path.join(tmp, "metrics.prom")
+        cmd = [tool, f"--trace={trace_path}", f"--metrics={metrics_path}",
+               f"--prom={prom_path}"]
+        if args.smoke:
+            cmd.append("--smoke")
+        print(f"running {os.path.basename(tool)} "
+              f"({'smoke' if args.smoke else 'default'} workload) ...")
+        result = subprocess.run(cmd, capture_output=True, text=True,
+                                check=False)
+        if result.returncode != 0:
+            sys.stderr.write(result.stdout)
+            sys.stderr.write(result.stderr)
+            violations.append(
+                f"cubist-trace exited {result.returncode} "
+                "(drift certification failed inside the tool)"
+            )
+            return {}, {}
+
+        with open(trace_path, encoding="utf-8") as f:
+            timeline = json.load(f)
+        events = timeline.get("traceEvents", [])
+        if not events:
+            violations.append("trace.json has no traceEvents")
+        categories = sorted({e["cat"] for e in events if "cat" in e})
+        trace_summary = {
+            "events": len(events),
+            "categories": categories,
+        }
+        for expected in ("build", "comm", "serving"):
+            if expected not in categories:
+                violations.append(
+                    f"trace.json timeline is missing the '{expected}' "
+                    "category — the workload did not span build -> "
+                    "reduce -> serving"
+                )
+
+        with open(metrics_path, encoding="utf-8") as f:
+            snapshot = json.load(f)
+        drift = {}
+        for metric in snapshot.get("metrics", []):
+            if metric.get("kind") != "drift":
+                continue
+            drift[metric["name"]] = {
+                "samples": metric["samples"],
+                "ratio": round(metric["ratio"], 6),
+                "tolerance_min": metric["tolerance_min"],
+                "tolerance_max": metric["tolerance_max"],
+                "within": metric["within"],
+            }
+        for name in DRIFT_GAUGES:
+            gauge = drift.get(name)
+            if gauge is None or gauge["samples"] == 0:
+                violations.append(f"drift gauge {name} is unpopulated")
+            elif not gauge["within"]:
+                violations.append(
+                    f"drift gauge {name} ratio {gauge['ratio']} outside "
+                    f"[{gauge['tolerance_min']}, {gauge['tolerance_max']}]"
+                )
+        return drift, trace_summary
+
+
 def parse_threads(text):
     threads = []
     for piece in text.split(","):
@@ -615,14 +849,23 @@ def main():
         help="serving-engine mode: run bench_serving's BM_Serving cases "
         "and write BENCH_serving.json",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="observability mode: run bench_obs's tracer-overhead points "
+        "plus one cubist-trace workload and write BENCH_obs.json; fails "
+        "on overhead-bound or drift-tolerance violations",
+    )
     args = parser.parse_args()
 
-    if args.comm and args.serving:
-        sys.exit("--comm and --serving are mutually exclusive")
+    if args.comm + args.serving + args.obs > 1:
+        sys.exit("--comm, --serving and --obs are mutually exclusive")
     if args.comm:
         return comm_report(args)
     if args.serving:
         return serving_report(args)
+    if args.obs:
+        return obs_report(args)
 
     nproc = os.cpu_count() or 1
     if args.threads:

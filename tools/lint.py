@@ -31,6 +31,12 @@ deliberately looser):
      src/minimpi/transport.cpp).  Everything else must go through the
      Transport interface — that seam is what keeps other backends
      pluggable and the runtime unaware of HOW messages move.
+  8. No `std::chrono` (or `<chrono>` include) outside src/obs/ and
+     src/common/timer.h.  Instrumented modules must take time through
+     Timer or the obs tracer so every measurement shares one clock
+     (steady_clock) and the disabled-tracer overhead contract stays
+     auditable; scattered ad-hoc clocks are how double-timing and
+     mixed-epoch timestamps creep in.
 
 Usage:  python3 tools/lint.py  [--root REPO_ROOT]  [--self-test]  [FILE ...]
 With FILE arguments only those files are linted; naming a file that is
@@ -61,6 +67,10 @@ MAILBOX_TYPE_ALLOWED_FILES = {
     "src/minimpi/transport.cpp",
 }
 MAILBOX_TYPE = re.compile(r"(?<![\w_])Mailbox(?![\w_])")
+CHRONO_ALLOWED_FILES = {"src/common/timer.h"}
+CHRONO_ALLOWED_PREFIX = "src/obs/"
+CHRONO_USE = re.compile(r"(?<![\w_])std\s*::\s*chrono(?![\w_])")
+CHRONO_INCLUDE = re.compile(r"#\s*include\s*<chrono>")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -173,6 +183,16 @@ def lint_file(path: pathlib.Path, rel: str, problems: list) -> None:
                 "outside the transport adaptor (src/minimpi/transport.cpp) "
                 "— depend on the Transport interface instead")
 
+    if (rel.startswith("src/") and rel not in CHRONO_ALLOWED_FILES
+            and not rel.startswith(CHRONO_ALLOWED_PREFIX)):
+        for pattern in (CHRONO_USE, CHRONO_INCLUDE):
+            for match in pattern.finditer(code):
+                problems.append(
+                    f"{rel}:{line_of(code, match.start())}: `std::chrono` "
+                    "outside src/obs/ and src/common/timer.h — time through "
+                    "Timer or the obs tracer so all measurements share one "
+                    "clock and the overhead contract stays auditable")
+
     check_macro_messages(rel, code, problems)
 
 
@@ -199,6 +219,22 @@ def self_test() -> int:
         # Comments and strings must not trip the type rule.
         ("src/core/commented.cpp",
          "// Mailbox is banned here\nconst char* s = \"Mailbox\";\n",
+         None),
+        # Ad-hoc clocks are confined to the obs layer and Timer.
+        ("src/core/rogue_clock.cpp",
+         "auto t = std::chrono::steady_clock::now();\n",
+         "`std::chrono` outside src/obs/"),
+        ("src/serving/rogue_include.cpp",
+         "#include <chrono>\n",
+         "`std::chrono` outside src/obs/"),
+        ("src/obs/trace_extra.cpp",
+         "auto t = std::chrono::steady_clock::now();\n",
+         None),
+        ("src/common/timer.h",
+         "// Timer.\n#pragma once\n#include <chrono>\n",
+         None),
+        ("src/core/chrono_comment.cpp",
+         "// std::chrono is banned outside src/obs/ and timer.h\n",
          None),
     ]
     failures = []
